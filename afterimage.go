@@ -1,0 +1,127 @@
+// Package afterimage is a full reproduction of "AfterImage: Leaking Control
+// Flow Data and Tracking Load Operations via the Hardware Prefetcher"
+// (ASPLOS 2023) as a library. Because the attack lives in Intel silicon that
+// Go cannot time with cycle accuracy, the package drives every attack,
+// reverse-engineering microbenchmark and mitigation study against a
+// deterministic cycle-level simulator of a Haswell / Coffee Lake memory
+// subsystem (see DESIGN.md for the substitution argument).
+//
+// The entry point is the Lab: a simulated machine plus the attacker
+// toolbox. Each Run* method reproduces one of the paper's experiments and
+// returns structured results that the cmd/ binaries print as paper-style
+// tables and figures.
+//
+//	lab := afterimage.NewLab(afterimage.Options{Model: afterimage.CoffeeLake, Seed: 1})
+//	res := lab.RunVariant1(afterimage.V1Options{Bits: 64})
+//	fmt.Println(res.SuccessRate)
+package afterimage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afterimage/internal/sim"
+)
+
+// Model selects the simulated microarchitecture (Table 2).
+type Model int
+
+// The two machines of Table 2.
+const (
+	CoffeeLake Model = iota // i7-9700
+	Haswell                 // i7-4770
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case CoffeeLake:
+		return "Coffee Lake i7-9700"
+	case Haswell:
+		return "Haswell i7-4770"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Options configures a Lab.
+type Options struct {
+	Model Model
+	// Seed drives every pseudo-random element (noise, jitter, ASLR): equal
+	// seeds reproduce runs exactly.
+	Seed int64
+	// Quiet removes context-switch noise — the setting for the §4
+	// reverse-engineering microbenchmarks. Attack evaluations (§7) keep
+	// noise on.
+	Quiet bool
+	// MitigationFlush enables the proposed clear-ip-prefetcher instruction
+	// at every domain switch (§8.3), which should defeat every attack.
+	MitigationFlush bool
+	// FullIPTag / PIDTag enable the §8.2 hardware-tagging mitigations: the
+	// history table verifies the whole IP, or additionally a process-ID
+	// tag. Either breaks the cross-context aliasing AfterImage needs.
+	FullIPTag bool
+	PIDTag    bool
+	// DisableNoisePrefetchers turns the DCU/DPL/streamer prefetchers off
+	// (ablation: quantifies their false-positive contribution).
+	DisableNoisePrefetchers bool
+}
+
+// Lab is a simulated machine plus bookkeeping for the experiments.
+type Lab struct {
+	opts Options
+	m    *sim.Machine
+	rng  *rand.Rand
+}
+
+// NewLab boots a fresh simulated machine.
+func NewLab(opts Options) *Lab {
+	var cfg sim.Config
+	switch opts.Model {
+	case Haswell:
+		cfg = sim.Haswell(opts.Seed)
+	default:
+		cfg = sim.CoffeeLake(opts.Seed)
+	}
+	if opts.Quiet {
+		cfg = sim.Quiet(cfg)
+	}
+	cfg.FlushPrefetcherOnSwitch = opts.MitigationFlush
+	cfg.IPStride.FullIPTag = opts.FullIPTag
+	cfg.IPStride.PIDTag = opts.PIDTag
+	if opts.DisableNoisePrefetchers {
+		cfg.DCUEnabled, cfg.DPLEnabled, cfg.StreamerEnabled = false, false, false
+	}
+	return &Lab{opts: opts, m: sim.NewMachine(cfg), rng: rand.New(rand.NewSource(opts.Seed + 31))}
+}
+
+// Machine exposes the underlying simulator for advanced use (building
+// custom victims or attacks on the same substrate).
+func (l *Lab) Machine() *sim.Machine { return l.m }
+
+// ModelName reports the simulated machine's name.
+func (l *Lab) ModelName() string { return l.m.Cfg.Name }
+
+// Seconds converts simulated cycles to wall-clock seconds on the modelled
+// part.
+func (l *Lab) Seconds(cycles uint64) float64 { return l.m.Seconds(cycles) }
+
+// randomBits draws n secret bits deterministically.
+func (l *Lab) randomBits(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = l.rng.Intn(2) == 1
+	}
+	return out
+}
+
+// boolsEqual counts positions where two bit strings agree.
+func boolsEqual(a, b []bool) int {
+	n := 0
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}

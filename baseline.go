@@ -1,0 +1,68 @@
+package afterimage
+
+import (
+	"afterimage/internal/core"
+	"afterimage/internal/mem"
+	"afterimage/internal/victim"
+)
+
+// This file implements the closest prior work as a baseline — the passive
+// prefetcher side channel of Shin et al. (CCS'18), the first row of
+// Table 4. That attack does not train the prefetcher: it waits for a
+// victim whose own algorithm performs regular strided table look-ups
+// (e.g. the ECDH sliding-window multiplier), lets the victim's accesses
+// train the IP-stride prefetcher naturally, and reads the resulting
+// prefetch footprint off the cache. Its reach is therefore limited to
+// table-look-up algorithms — exactly the "algorithm agnostic: ✗"
+// cell the paper contrasts AfterImage against.
+
+// BaselineResult reports one Shin-style observation.
+type BaselineResult struct {
+	// FootprintDetected reports whether a strided footprint appeared.
+	FootprintDetected bool
+	// Stride is the detected line stride (valid when detected).
+	Stride int64
+	// HitLines is the raw footprint.
+	HitLines []int
+}
+
+// RunShinBaseline runs the passive footprint attack against a table-lookup
+// victim: the victim scans a shared table with a secret-dependent stride;
+// the attacker flushes, waits, reloads — no training, no gadget.
+func (l *Lab) RunShinBaseline(secretStride int64) BaselineResult {
+	m := l.m
+	env := m.Direct(m.NewProcess("attacker"))
+	shared := env.Mmap(mem.PageSize, mem.MapShared)
+	fr := core.NewFlushReload()
+
+	fr.FlushPage(env, shared.Base)
+	// Victim: an ECDH-like window loop touching table[i·stride] — its own
+	// regularity trains the prefetcher, which then overshoots the last
+	// access and leaves the telltale extra line.
+	env.WarmTLB(shared.Base)
+	vicIP := uint64(0x0823_0055)
+	for i := int64(0); i < 4; i++ {
+		env.Load(vicIP, shared.Base+mem.VAddr(i*secretStride*core.LineSize))
+	}
+	_, hits := fr.ReloadPage(env, shared.Base)
+	s, ok := core.DetectStride(hits, []int64{secretStride})
+	return BaselineResult{FootprintDetected: ok, Stride: s, HitLines: hits}
+}
+
+// RunShinBaselineOnBranchVictim demonstrates the baseline's limitation: a
+// Listing 1 victim (one secret-dependent load, no strided table scan)
+// leaves no strided footprint, so the passive attack learns nothing —
+// while AfterImage's trained entry leaks the same victim (Variant 1).
+func (l *Lab) RunShinBaselineOnBranchVictim(secret bool) BaselineResult {
+	m := l.m
+	env := m.Direct(m.NewProcess("attacker"))
+	shared := env.Mmap(mem.PageSize, mem.MapShared)
+	vic := victim.NewBranchy(shared.Base)
+	fr := core.NewFlushReload()
+
+	fr.FlushPage(env, shared.Base)
+	vic.Step(env, secret) // a single branch-dependent load
+	_, hits := fr.ReloadPage(env, shared.Base)
+	s, ok := core.DetectStride(hits, []int64{7, 11, 13})
+	return BaselineResult{FootprintDetected: ok, Stride: s, HitLines: hits}
+}

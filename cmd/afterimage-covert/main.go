@@ -1,0 +1,45 @@
+// Command afterimage-covert runs the §5.3 cross-process covert channel:
+// the sender encodes 5-bit symbols as prefetcher strides, the receiver
+// replays them from the cache echo, and the tool reports bandwidth and
+// error rate (833 bps at <6 % errors single-entry; ~20 Kbps raw with 24
+// parallel entries).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"afterimage"
+)
+
+func main() {
+	var (
+		msg     = flag.String("message", "the afterimage prefetcher covert channel", "payload to transmit")
+		entries = flag.Int("entries", 1, "parallel prefetcher entries (1..24)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		slot    = flag.Uint64("slot", 0, "override the half-round slot in cycles (0 = 3 ms)")
+	)
+	flag.Parse()
+
+	lab := afterimage.NewLab(afterimage.Options{Seed: *seed})
+	res := lab.RunCovertChannel(afterimage.CovertOptions{
+		Message:    []byte(*msg),
+		Entries:    *entries,
+		SlotCycles: *slot,
+	})
+	perCycle := 1.0 / 3e9
+	fmt.Printf("machine:      %s\n", lab.ModelName())
+	fmt.Printf("payload:      %d bytes as %d 5-bit symbols over %d entr%s\n",
+		len(*msg), res.SymbolsSent, *entries, plural(*entries))
+	fmt.Printf("errors:       %d/%d (%.1f%%)\n", res.SymbolErrors, res.SymbolsSent, res.ErrorRate()*100)
+	fmt.Printf("raw rate:     %.0f bps\n", res.RawBps(perCycle))
+	fmt.Printf("goodput:      %.0f bps\n", res.Bps(perCycle))
+	fmt.Printf("elapsed:      %.1f ms simulated\n", lab.Seconds(res.Cycles)*1e3)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"afterimage"
+)
+
+// writeCSVs regenerates the figure data series and writes one CSV per
+// figure into dir — the raw numbers behind every plot, for external
+// plotting or regression diffing.
+func writeCSVs(dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	quiet := afterimage.NewLab(afterimage.Options{Seed: seed, Quiet: true})
+
+	if err := writeCSV(dir, "fig6.csv", [][]string{{"matched_bits", "access_cycles", "triggered"}},
+		func(rows *[][]string) {
+			for _, p := range quiet.RevFig6() {
+				*rows = append(*rows, []string{
+					strconv.Itoa(p.MatchedBits),
+					strconv.FormatUint(p.AccessTime, 10),
+					strconv.FormatBool(p.Triggered),
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := writeCSV(dir, "fig8a.csv", [][]string{{"trained_ips", "index", "access_cycles", "triggered"}},
+		func(rows *[][]string) {
+			for _, n := range []int{26, 30} {
+				for _, p := range quiet.RevFig8a(n) {
+					*rows = append(*rows, []string{
+						strconv.Itoa(n), strconv.Itoa(p.Index),
+						strconv.FormatUint(p.AccessTime, 10),
+						strconv.FormatBool(p.Triggered),
+					})
+				}
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := writeCSV(dir, "fig8b.csv", [][]string{{"index", "access_cycles", "triggered"}},
+		func(rows *[][]string) {
+			for _, p := range quiet.RevFig8b() {
+				*rows = append(*rows, []string{
+					strconv.Itoa(p.Index),
+					strconv.FormatUint(p.AccessTime, 10),
+					strconv.FormatBool(p.Triggered),
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Figure 13a: per-set Prime+Probe deltas after an if-path run.
+	pp := afterimage.NewLab(afterimage.Options{Seed: seed}).
+		RunVariant1(afterimage.V1Options{Secret: []bool{true}, Backend: afterimage.PrimeProbe})
+	if err := writeCSV(dir, "fig13a.csv", [][]string{{"set", "probe_delta_cycles"}},
+		func(rows *[][]string) {
+			for i, d := range pp.LastProbe {
+				*rows = append(*rows, []string{strconv.Itoa(i), strconv.FormatInt(d, 10)})
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Figure 15: PSC status timeline.
+	keyLoad, decrypt := afterimage.NewLab(afterimage.Options{Seed: seed}).TrackOpenSSL()
+	if err := writeCSV(dir, "fig15.csv", [][]string{{"slot", "keyload_triggered", "muladd_triggered"}},
+		func(rows *[][]string) {
+			for i := range keyLoad.Samples {
+				*rows = append(*rows, []string{
+					strconv.Itoa(i),
+					strconv.FormatBool(keyLoad.Samples[i].Triggered),
+					strconv.FormatBool(decrypt.Samples[i].Triggered),
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Figure 16: t-test curves.
+	aligned := afterimage.RunTTest(true, seed)
+	random := afterimage.RunTTest(false, seed)
+	if err := writeCSV(dir, "fig16.csv", [][]string{{"plaintexts", "t_aligned", "t_random"}},
+		func(rows *[][]string) {
+			for i := range aligned.Counts {
+				*rows = append(*rows, []string{
+					strconv.Itoa(aligned.Counts[i]),
+					fmt.Sprintf("%.3f", aligned.TValues[i]),
+					fmt.Sprintf("%.3f", random.TValues[i]),
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	// §8.3 mitigation per-application table.
+	mit, err := afterimage.RunMitigationStudy(afterimage.MitigationOptions{Instructions: 200_000, Seed: seed})
+	if err != nil {
+		return err
+	}
+	return writeCSV(dir, "mitigation.csv",
+		[][]string{{"application", "sensitive", "base_ipc", "flush_ipc", "slowdown", "prefetch_benefit"}},
+		func(rows *[][]string) {
+			for _, r := range mit.Rows {
+				*rows = append(*rows, []string{
+					r.Name, strconv.FormatBool(r.Sensitive),
+					fmt.Sprintf("%.4f", r.BaseIPC), fmt.Sprintf("%.4f", r.MitigatedIPC),
+					fmt.Sprintf("%.5f", r.Slowdown), fmt.Sprintf("%.4f", r.PrefetchBenefit),
+				})
+			}
+		})
+}
+
+func writeCSV(dir, name string, header [][]string, fill func(*[][]string)) error {
+	rows := header
+	fill(&rows)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

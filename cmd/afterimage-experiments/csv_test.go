@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSVsProducesAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CSV regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := writeCSVs(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{ // file -> minimum data rows
+		"fig6.csv":       17,
+		"fig8a.csv":      56,
+		"fig8b.csv":      24,
+		"fig13a.csv":     64,
+		"fig15.csv":      20,
+		"fig16.csv":      20,
+		"mitigation.csv": 16,
+	}
+	for name, minRows := range want {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s unparsable: %v", name, err)
+		}
+		if len(rows) < minRows+1 { // +1 header
+			t.Fatalf("%s has %d rows, want ≥ %d", name, len(rows)-1, minRows)
+		}
+		for i, r := range rows[1:] {
+			if len(r) != len(rows[0]) {
+				t.Fatalf("%s row %d has %d cells, header has %d", name, i, len(r), len(rows[0]))
+			}
+		}
+	}
+}

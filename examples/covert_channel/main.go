@@ -1,0 +1,43 @@
+// Covert channel: two cooperating processes with no shared secrets, files
+// or sockets — only the same logical core — move data through the IP-stride
+// prefetcher's stride field (§5.3). The sender trains a history entry with
+// stride = symbol; the receiver touches one line of a shared page with an
+// aliasing IP and reads the symbol back as the distance to the prefetched
+// line.
+package main
+
+import (
+	"fmt"
+
+	"afterimage"
+)
+
+func main() {
+	message := "prefetchers remember more than they should"
+
+	// Single-entry configuration: the paper's 833 bps at <6 % errors.
+	lab := afterimage.NewLab(afterimage.Options{Seed: 3})
+	res := lab.RunCovertChannel(afterimage.CovertOptions{
+		Message: []byte(message),
+		Entries: 1,
+	})
+	perCycle := 1.0 / 3e9
+	fmt.Printf("single entry:  %4.0f bps raw, %4.1f%% symbol errors (paper: 833 bps, <6%%)\n",
+		res.RawBps(perCycle), res.ErrorRate()*100)
+
+	// Maximum-bandwidth configuration: all 24 history entries carry
+	// symbols in parallel. The table thrashes — context switches and the
+	// receiver's own probes evict entries — so errors exceed 25 %, but the
+	// raw signalling rate approaches 20 Kbps, exactly the paper's
+	// trade-off.
+	lab24 := afterimage.NewLab(afterimage.Options{Seed: 3})
+	res24 := lab24.RunCovertChannel(afterimage.CovertOptions{
+		Message: []byte(message),
+		Entries: 24,
+	})
+	fmt.Printf("24 entries:   %5.0f bps raw, %4.1f%% symbol errors (paper: ~20 Kbps, >25%%)\n",
+		res24.RawBps(perCycle), res24.ErrorRate()*100)
+
+	fmt.Printf("\n%d symbols of 5 bits each; %.1f ms simulated per configuration\n",
+		res.SymbolsSent, lab.Seconds(res.Cycles)*1e3)
+}

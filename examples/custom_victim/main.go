@@ -1,0 +1,123 @@
+// Custom victim: using the library as a research tool. Everything the
+// shipped experiments do is built from the Lab's machine — here we write a
+// brand-new victim (a password comparator with an early-exit loop whose
+// per-character loads sit at one IP) and mount an AfterImage-PSC attack on
+// it from scratch, without touching any of the canned Run* flows.
+package main
+
+import (
+	"fmt"
+
+	"afterimage"
+	"afterimage/internal/core"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// passwordCheck models a byte-by-byte comparator: each iteration loads the
+// stored secret's next byte (always, at checkIP) and the loop exits on the
+// first mismatch — so the NUMBER of checkIP executions equals the length of
+// the correct prefix. AfterImage counts those executions through the
+// prefetcher status, one per observation round.
+func passwordCheck(env *sim.Env, checkIP uint64, stored *mem.Mapping, secret, guess string) bool {
+	env.WarmTLB(stored.Base)
+	for i := 0; i < len(guess) && i < len(secret); i++ {
+		env.Load(checkIP, stored.Base+mem.VAddr(i)) // load secret[i]
+		env.Sleep(40)
+		if guess[i] != secret[i] {
+			return false
+		}
+		env.Yield() // timeslice boundary per compared character
+	}
+	return len(guess) == len(secret)
+}
+
+func main() {
+	lab := afterimage.NewLab(afterimage.Options{Seed: 13})
+	m := lab.Machine()
+
+	secret := "hunter2"
+	checkIP := uint64(0x0807_11c9) // low 8 bits 0xC9
+
+	vicProc := m.NewProcess("login")
+	attProc := m.NewProcess("attacker")
+	stored := m.Direct(vicProc).Mmap(mem.PageSize, mem.MapLocked)
+
+	fmt.Println("attacking a byte-by-byte password comparator via AfterImage-PSC")
+	fmt.Printf("victim compare-loop load IP ends in %#02x\n\n", uint8(checkIP))
+
+	// The attacker measures, per guess, how many comparator iterations ran:
+	// it re-trains the aliasing entry before every victim timeslice and
+	// counts the slices in which the entry was disturbed.
+	prefixLenOnce := func(guess string) int {
+		matched := 0
+		m.Spawn(attProc, "attacker", func(e *sim.Env) {
+			psc := core.NewPSC(e, core.IPWithLow8(0x40_0000, uint8(checkIP)), 11, 64)
+			psc.Train(e, 4)
+			for i := 0; i < len(guess); i++ {
+				psc.Train(e, 3)
+				e.Yield() // victim compares character i
+				if !psc.Check(e) {
+					matched++ // comparator executed its load: position i was reached
+				}
+			}
+		})
+		m.Spawn(vicProc, "login", func(e *sim.Env) {
+			passwordCheck(e, checkIP, stored, secret, guess)
+			for i := 0; i < len(guess); i++ {
+				e.Yield()
+			}
+		})
+		m.Run()
+		return matched
+	}
+
+	// Context-switch noise occasionally fakes a disturbed slot, so — like
+	// the paper's ≤5 observations per RSA bit — take the median of three.
+	prefixLen := func(guess string) int {
+		a, b, c := prefixLenOnce(guess), prefixLenOnce(guess), prefixLenOnce(guess)
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b = c
+		}
+		if a > b {
+			b = a
+		}
+		return b
+	}
+
+	// Classic prefix-extension attack, one character per stage, using only
+	// the leaked iteration count.
+	alphabet := "abcdefghijklmnopqrstuvwxyz0123456789"
+	recovered := ""
+	for len(recovered) < len(secret) {
+		found := false
+		for _, c := range alphabet {
+			guess := recovered + string(c) + "\x00" // padding probes one char further
+			if prefixLen(guess) > len(recovered)+1 {
+				recovered += string(c)
+				fmt.Printf("  prefix so far: %q\n", recovered)
+				found = true
+				break
+			}
+		}
+		if !found {
+			// The final character loads before it is compared, so the
+			// iteration count cannot distinguish it — but at this point a
+			// single character is left, and the login's accept/reject
+			// answer (the victim's normal interface) finishes the job.
+			for _, c := range alphabet {
+				env := m.Direct(vicProc)
+				if passwordCheck(env, checkIP, stored, secret, recovered+string(c)) {
+					recovered += string(c)
+					fmt.Printf("  final character via login result: %q\n", recovered)
+					break
+				}
+			}
+			break
+		}
+	}
+	fmt.Printf("\nrecovered password: %q (truth: %q)\n", recovered, secret)
+}

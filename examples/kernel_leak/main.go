@@ -1,0 +1,47 @@
+// Kernel leak: Variant 2 (§5.2). A custom syscall guards a load into
+// user-shared memory with a kernel-private secret (Listing 7 of the paper).
+// The attacker cannot disassemble the kernel, so it first recovers the low
+// 8 bits of the kernel load's instruction pointer with the IP-search
+// technique — KASLR cannot hide them, because it randomises at page
+// granularity while the prefetcher indexes with the low 8 bits only — and
+// then leaks the kernel's branch decisions through the trained entry.
+package main
+
+import (
+	"fmt"
+
+	"afterimage"
+)
+
+func main() {
+	lab := afterimage.NewLab(afterimage.Options{Seed: 11})
+	fmt.Printf("attacking a kernel syscall on %s\n\n", lab.ModelName())
+
+	res := lab.RunVariant2(afterimage.V2Options{
+		Bits:        48,
+		UseIPSearch: true,
+	})
+
+	if res.IPSearched {
+		fmt.Printf("IP search over 256 candidates (groups of 24): kernel load IP ends in %#02x\n\n",
+			res.FoundIPLow8)
+	}
+
+	fmt.Println("kernel secret:", bits(res.Secret))
+	fmt.Println("user inferred:", bits(res.Inferred))
+	fmt.Printf("\nsuccess rate: %.1f%% (paper reports 91%% for Variant 2)\n", res.SuccessRate()*100)
+	fmt.Println("\nno speculation, no shared library, no kernel read primitive —")
+	fmt.Println("only a trained prefetcher entry crossing the privilege boundary.")
+}
+
+func bits(bs []bool) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

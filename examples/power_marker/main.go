@@ -1,0 +1,63 @@
+// Power marker: §6.3 / Figure 16. AfterImage is not only a direct leak —
+// it is a precision trigger for other attacks. Here the attacker first uses
+// Prefetcher Status Checking to recover exactly when the victim loads its
+// key and when decryption begins (Figure 15), then uses that timing to
+// align power traces for a TVLA t-test. Aligned traces blow past the ±4.5
+// leakage threshold; randomly-timed sampling of the same traces shows
+// nothing.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"afterimage"
+)
+
+func main() {
+	// Step 1: track the victim's load timing through the prefetcher.
+	lab := afterimage.NewLab(afterimage.Options{Seed: 5})
+	keyLoad, decrypt := lab.TrackOpenSSL()
+	fmt.Println("prefetcher status per scheduling slot (. triggered, X reset):")
+	fmt.Printf("  key-load entry: %s\n", timeline(keyLoad.Samples))
+	fmt.Printf("  mul-add entry:  %s\n", timeline(decrypt.Samples))
+	fmt.Printf("recovered onsets: key load at slot %d, decryption at slot %d\n\n",
+		keyLoad.OnsetIndex, decrypt.OnsetIndex)
+
+	// Step 2: feed the recovered timing into a power side-channel.
+	aligned := afterimage.RunTTest(true, 5)
+	random := afterimage.RunTTest(false, 5)
+	fmt.Println("TVLA fixed-vs-random t-test on AES S-box power traces:")
+	fmt.Printf("  with AfterImage timing: |t| = %5.1f after %d traces (threshold 4.5)\n",
+		abs(aligned.FinalT()), aligned.Counts[len(aligned.Counts)-1])
+	fmt.Printf("  with random timing:     |t| = %5.1f — no detectable leakage\n",
+		abs(random.FinalT()))
+
+	// Step 3: from assessment to exploitation — CPA key recovery.
+	cpa := afterimage.RunCPAAttack(true, 3000, 5)
+	blind := afterimage.RunCPAAttack(false, 3000, 5)
+	fmt.Println("\ncorrelation power analysis on the first-round S-box:")
+	fmt.Printf("  with AfterImage timing: key byte %#02x recovered (|r| %.2f vs %.2f runner-up)\n",
+		cpa.RecoveredKey, cpa.PeakCorrelation, cpa.RunnerUpCorrelation)
+	fmt.Printf("  with random timing:     peak |r| %.2f — the key does not fall\n",
+		blind.PeakCorrelation)
+}
+
+func timeline(samples []afterimage.TimingSample) string {
+	var sb strings.Builder
+	for _, s := range samples {
+		if s.Triggered {
+			sb.WriteByte('.')
+		} else {
+			sb.WriteByte('X')
+		}
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module afterimage
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package aes implements AES-128 from scratch (S-box based, no lookup-table
+// fusion) as the substrate for the paper's AES-related claims: §6.3 notes
+// that OpenSSL-AES can be attacked with the same load-tracking flow as RSA,
+// and the Figure 16 power experiment models first-round S-box leakage.
+// Encryption exposes a per-S-box-lookup hook so the simulated victim can
+// issue the corresponding table loads. Tests validate against crypto/aes.
+package aes
+
+import (
+	"fmt"
+
+	"afterimage/internal/power"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// Rounds is the AES-128 round count.
+const Rounds = 10
+
+// SBoxHook observes one S-box lookup: the phase ("expand" or "round N"),
+// and the input byte (whose table line a real lookup would touch).
+type SBoxHook func(phase string, index int, in byte)
+
+// sbox applies the substitution, reporting to the hook.
+func sbox(in byte, phase string, idx int, hook SBoxHook) byte {
+	if hook != nil {
+		hook(phase, idx, in)
+	}
+	return power.SBox[in]
+}
+
+var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+
+// ExpandKey derives the 11 round keys of AES-128.
+func ExpandKey(key []byte, hook SBoxHook) ([][16]byte, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	// 44 words of 4 bytes.
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{t[1], t[2], t[3], t[0]}
+			for k := 0; k < 4; k++ {
+				t[k] = sbox(t[k], "expand", i*4+k, hook)
+			}
+			t[0] ^= rcon[i/4]
+		}
+		for k := 0; k < 4; k++ {
+			w[i][k] = w[i-4][k] ^ t[k]
+		}
+	}
+	keys := make([][16]byte, Rounds+1)
+	for r := 0; r <= Rounds; r++ {
+		for c := 0; c < 4; c++ {
+			copy(keys[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return keys, nil
+}
+
+// xtime is multiplication by x in GF(2^8).
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1B
+	}
+	return b << 1
+}
+
+// mul multiplies in GF(2^8).
+func mul(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// EncryptBlock encrypts one 16-byte block with the expanded keys, calling
+// the hook for every S-box lookup (16 per round).
+func EncryptBlock(keys [][16]byte, block []byte, hook SBoxHook) ([BlockSize]byte, error) {
+	var s [16]byte
+	if len(block) != BlockSize {
+		return s, fmt.Errorf("aes: block must be %d bytes, got %d", BlockSize, len(block))
+	}
+	if len(keys) != Rounds+1 {
+		return s, fmt.Errorf("aes: need %d round keys, got %d", Rounds+1, len(keys))
+	}
+	copy(s[:], block)
+	addRoundKey(&s, keys[0])
+	for r := 1; r <= Rounds; r++ {
+		phase := fmt.Sprintf("round %d", r)
+		for i := range s {
+			s[i] = sbox(s[i], phase, i, hook)
+		}
+		shiftRows(&s)
+		if r != Rounds {
+			mixColumns(&s)
+		}
+		addRoundKey(&s, keys[r])
+	}
+	return s, nil
+}
+
+func addRoundKey(s *[16]byte, k [16]byte) {
+	for i := range s {
+		s[i] ^= k[i]
+	}
+}
+
+// shiftRows operates on the column-major state layout (s[r+4c]).
+func shiftRows(s *[16]byte) {
+	var t [16]byte
+	copy(t[:], s[:])
+	for r := 1; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r+4*c] = t[r+4*((c+r)%4)]
+		}
+	}
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = mul(a0, 2) ^ mul(a1, 3) ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mul(a1, 2) ^ mul(a2, 3) ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mul(a2, 2) ^ mul(a3, 3)
+		s[4*c+3] = mul(a0, 3) ^ a1 ^ a2 ^ mul(a3, 2)
+	}
+}
+
+// Encrypt is the convenience one-shot: expand and encrypt.
+func Encrypt(key, block []byte, hook SBoxHook) ([BlockSize]byte, error) {
+	keys, err := ExpandKey(key, hook)
+	if err != nil {
+		return [BlockSize]byte{}, err
+	}
+	return EncryptBlock(keys, block, hook)
+}

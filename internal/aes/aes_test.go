@@ -1,0 +1,98 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFIPS197Vector checks the appendix-B example of FIPS-197.
+func TestFIPS197Vector(t *testing.T) {
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := []byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	got, err := Encrypt(key, pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("got % x, want % x", got, want)
+	}
+}
+
+// TestMatchesCryptoAES cross-validates against the standard library.
+func TestMatchesCryptoAES(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		key := make([]byte, KeySize)
+		pt := make([]byte, BlockSize)
+		rng.Read(key)
+		rng.Read(pt)
+		got, err := Encrypt(key, pt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, BlockSize)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("mismatch for key % x pt % x", key, pt)
+		}
+	}
+}
+
+func TestHookSeesAllLookups(t *testing.T) {
+	key := make([]byte, KeySize)
+	pt := make([]byte, BlockSize)
+	phases := map[string]int{}
+	if _, err := Encrypt(key, pt, func(phase string, idx int, in byte) {
+		phases[phase]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if phases["expand"] != 40 { // 10 SubWord applications of 4 bytes
+		t.Fatalf("expand lookups = %d, want 40", phases["expand"])
+	}
+	if phases["round 1"] != 16 || phases["round 10"] != 16 {
+		t.Fatalf("round lookups: %v", phases)
+	}
+	total := 0
+	for _, n := range phases {
+		total += n
+	}
+	if total != 40+16*Rounds {
+		t.Fatalf("total lookups = %d", total)
+	}
+}
+
+func TestBadSizesRejected(t *testing.T) {
+	if _, err := ExpandKey(make([]byte, 5), nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+	keys, _ := ExpandKey(make([]byte, KeySize), nil)
+	if _, err := EncryptBlock(keys, make([]byte, 3), nil); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if _, err := EncryptBlock(keys[:5], make([]byte, BlockSize), nil); err == nil {
+		t.Fatal("truncated schedule accepted")
+	}
+}
+
+// TestGFArithmetic pins GF(2^8) multiplication facts.
+func TestGFArithmetic(t *testing.T) {
+	if mul(0x57, 0x13) != 0xFE { // FIPS-197 example
+		t.Fatalf("mul(0x57,0x13) = %#x", mul(0x57, 0x13))
+	}
+	f := func(a byte) bool { return mul(a, 1) == a && mul(a, 2) == xtime(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package bignum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchNats(bits int) (a, b, m Nat) {
+	rng := rand.New(rand.NewSource(1))
+	return RandBits(rng, bits), RandBits(rng, bits), RandBits(rng, bits)
+}
+
+func BenchmarkMul512(b *testing.B) {
+	x, y, _ := benchNats(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkMod1024by512(b *testing.B) {
+	x, _, _ := benchNats(1024)
+	_, _, m := benchNats(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mod(m)
+	}
+}
+
+func BenchmarkModExpLadder256(b *testing.B) {
+	base, exp, m := benchNats(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ModExpLadder(base, exp, m, nil)
+	}
+}

@@ -1,0 +1,183 @@
+package bignum
+
+import "math/rand"
+
+// LadderHook observes one Montgomery-ladder iteration. bitIndex counts down
+// from the exponent's most significant bit; bit is the exponent bit
+// processed. The RSA victims use it to issue the branch-dependent loads of
+// Figures 3 and 4 at exactly the algorithmic point the paper attacks.
+type LadderHook func(bitIndex int, bit uint)
+
+// ModExpLadder computes base^exp mod m with the Montgomery ladder — the
+// timing-balanced square-and-multiply in which both branches perform the
+// same operation sequence (one multiply, one square) every iteration, as in
+// the MbedTLS engine the paper targets. hook may be nil.
+func ModExpLadder(base, exp, m Nat, hook LadderHook) Nat {
+	if m.IsZero() {
+		panic("bignum: modulus is zero")
+	}
+	one := New(1)
+	if m.Cmp(one) == 0 {
+		return Nat{}
+	}
+	r0 := one         // R0 = 1
+	r1 := base.Mod(m) // R1 = base
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		bit := exp.Bit(i)
+		if hook != nil {
+			hook(i, bit)
+		}
+		if bit == 0 {
+			// R1 = R0·R1, R0 = R0²
+			r1 = r0.ModMul(r1, m)
+			r0 = r0.ModMul(r0, m)
+		} else {
+			// R0 = R0·R1, R1 = R1²
+			r0 = r0.ModMul(r1, m)
+			r1 = r1.ModMul(r1, m)
+		}
+	}
+	return r0
+}
+
+// ModExp is the plain left-to-right square-and-multiply (used by key
+// generation and the Miller–Rabin test, where side-channel balance does not
+// matter).
+func ModExp(base, exp, m Nat) Nat {
+	if m.IsZero() {
+		panic("bignum: modulus is zero")
+	}
+	one := New(1)
+	if m.Cmp(one) == 0 {
+		return Nat{}
+	}
+	result := one
+	b := base.Mod(m)
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		result = result.ModMul(result, m)
+		if exp.Bit(i) == 1 {
+			result = result.ModMul(b, m)
+		}
+	}
+	return result
+}
+
+// smallPrimes speeds up candidate filtering in GeneratePrime.
+var smallPrimes = []uint64{
+	2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+	71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+}
+
+// ProbablyPrime runs `rounds` Miller–Rabin iterations with bases drawn from
+// rng. It is deterministic for a fixed source.
+func ProbablyPrime(n Nat, rounds int, rng *rand.Rand) bool {
+	if n.BitLen() <= 6 {
+		v := n.Uint64()
+		for _, p := range smallPrimes {
+			if v == p {
+				return true
+			}
+			if v%p == 0 {
+				return false
+			}
+		}
+		return v > 1
+	}
+	for _, p := range smallPrimes {
+		if n.Cmp(New(p)) == 0 {
+			return true
+		}
+		if n.Mod(New(p)).IsZero() {
+			return false
+		}
+	}
+	one := New(1)
+	two := New(2)
+	nMinus1 := n.Sub(one)
+	// n-1 = d·2^s with d odd.
+	d := nMinus1
+	s := 0
+	for d.Bit(0) == 0 {
+		d = d.Shr(1)
+		s++
+	}
+witness:
+	for r := 0; r < rounds; r++ {
+		a := RandBelow(rng, nMinus1.Sub(two)).Add(two) // a in [2, n-2]
+		x := ModExp(a, d, n)
+		if x.Cmp(one) == 0 || x.Cmp(nMinus1) == 0 {
+			continue
+		}
+		for i := 0; i < s-1; i++ {
+			x = x.ModMul(x, n)
+			if x.Cmp(nMinus1) == 0 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// GeneratePrime returns a random prime of exactly the given bit length.
+func GeneratePrime(rng *rand.Rand, bitLen int, mrRounds int) Nat {
+	if bitLen < 8 {
+		panic("bignum: prime bit length too small")
+	}
+	for {
+		cand := RandBits(rng, bitLen)
+		// Force odd.
+		if cand.Bit(0) == 0 {
+			cand = cand.Add(New(1))
+		}
+		if ProbablyPrime(cand, mrRounds, rng) {
+			return cand
+		}
+	}
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b Nat) Nat {
+	for !b.IsZero() {
+		a, b = b, a.Mod(b)
+	}
+	return a
+}
+
+// ModInverse returns x with (a·x) mod m == 1, or ok=false when a is not
+// invertible. It runs the extended Euclid algorithm over signed
+// coefficients tracked as (Nat, sign) pairs.
+func ModInverse(a, m Nat) (Nat, bool) {
+	if m.IsZero() {
+		return Nat{}, false
+	}
+	// Iterative extended Euclid: r0=m, r1=a; t0=0, t1=1 (with signs).
+	r0, r1 := m, a.Mod(m)
+	t0, t1 := Nat{}, New(1)
+	s0, s1 := 1, 1 // signs of t0, t1
+	for !r1.IsZero() {
+		q, r := r0.DivMod(r1)
+		// t2 = t0 - q·t1 (signed arithmetic)
+		qt := q.Mul(t1)
+		var t2 Nat
+		var s2 int
+		if s0 == s1 {
+			if t0.Cmp(qt) >= 0 {
+				t2, s2 = t0.Sub(qt), s0
+			} else {
+				t2, s2 = qt.Sub(t0), -s1
+			}
+		} else {
+			t2, s2 = t0.Add(qt), s0
+		}
+		r0, r1 = r1, r
+		t0, t1, s0, s1 = t1, t2, s1, s2
+	}
+	if r0.Cmp(New(1)) != 0 {
+		return Nat{}, false
+	}
+	if s0 < 0 {
+		return m.Sub(t0.Mod(m)).Mod(m), true
+	}
+	return t0.Mod(m), true
+}

@@ -1,0 +1,276 @@
+package bignum
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Nat to math/big for cross-validation.
+func toBig(n Nat) *big.Int { return new(big.Int).SetBytes(n.Bytes()) }
+
+// randNat produces a deterministic pseudo-random Nat of up to maxBits bits.
+func randNat(rng *rand.Rand, maxBits int) Nat {
+	bl := rng.Intn(maxBits) + 1
+	return RandBits(rng, bl)
+}
+
+func TestBasicValues(t *testing.T) {
+	if !New(0).IsZero() {
+		t.Fatal("New(0) not zero")
+	}
+	if New(5).Uint64() != 5 {
+		t.Fatal("Uint64 roundtrip")
+	}
+	if New(0).BitLen() != 0 || New(1).BitLen() != 1 || New(255).BitLen() != 8 {
+		t.Fatal("BitLen wrong")
+	}
+}
+
+func TestCrossValidatedArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a := randNat(rng, 512)
+		b := randNat(rng, 512)
+		ba, bb := toBig(a), toBig(b)
+
+		if got, want := toBig(a.Add(b)), new(big.Int).Add(ba, bb); got.Cmp(want) != 0 {
+			t.Fatalf("Add: %v + %v: got %v want %v", a, b, got, want)
+		}
+		if got, want := toBig(a.Mul(b)), new(big.Int).Mul(ba, bb); got.Cmp(want) != 0 {
+			t.Fatalf("Mul mismatch")
+		}
+		hi, lo := a, b
+		if hi.Cmp(lo) < 0 {
+			hi, lo = lo, hi
+		}
+		if got, want := toBig(hi.Sub(lo)), new(big.Int).Sub(toBig(hi), toBig(lo)); got.Cmp(want) != 0 {
+			t.Fatalf("Sub mismatch")
+		}
+		if !b.IsZero() {
+			q, r := a.DivMod(b)
+			wq, wr := new(big.Int).QuoRem(ba, bb, new(big.Int))
+			if toBig(q).Cmp(wq) != 0 || toBig(r).Cmp(wr) != 0 {
+				t.Fatalf("DivMod mismatch: %v / %v", a, b)
+			}
+		}
+		if got, want := a.Cmp(b), ba.Cmp(bb); got != want {
+			t.Fatalf("Cmp mismatch")
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := randNat(rng, 300)
+		k := uint(rng.Intn(130))
+		if got, want := toBig(a.Shl(k)), new(big.Int).Lsh(toBig(a), k); got.Cmp(want) != 0 {
+			t.Fatalf("Shl mismatch")
+		}
+		if got, want := toBig(a.Shr(k)), new(big.Int).Rsh(toBig(a), k); got.Cmp(want) != 0 {
+			t.Fatalf("Shr mismatch")
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		n := FromBytes(b)
+		// Strip leading zeros for comparison.
+		i := 0
+		for i < len(b) && b[i] == 0 {
+			i++
+		}
+		return bytes.Equal(n.Bytes(), b[i:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		a := randNat(rng, 400)
+		back, err := FromHex(a.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Cmp(a) != 0 {
+			t.Fatalf("hex roundtrip: %v -> %v", a, back)
+		}
+	}
+	if _, err := FromHex(""); err == nil {
+		t.Fatal("empty hex accepted")
+	}
+	if _, err := FromHex("xyz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if MustHex("ff").Uint64() != 255 {
+		t.Fatal("MustHex")
+	}
+}
+
+func TestSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1).Sub(New(2))
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1).DivMod(Nat{})
+}
+
+func TestModExpMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		base := randNat(rng, 256)
+		exp := randNat(rng, 128)
+		m := randNat(rng, 256)
+		if m.IsZero() {
+			continue
+		}
+		want := new(big.Int).Exp(toBig(base), toBig(exp), toBig(m))
+		if got := toBig(ModExp(base, exp, m)); got.Cmp(want) != 0 {
+			t.Fatalf("ModExp mismatch: %v^%v mod %v", base, exp, m)
+		}
+		if got := toBig(ModExpLadder(base, exp, m, nil)); got.Cmp(want) != 0 {
+			t.Fatalf("ModExpLadder mismatch")
+		}
+	}
+}
+
+func TestLadderHookSeesEveryBit(t *testing.T) {
+	exp := MustHex("b5") // 10110101
+	var bits []uint
+	ModExpLadder(New(3), exp, New(1000003), func(i int, b uint) {
+		bits = append(bits, b)
+	})
+	want := []uint{1, 0, 1, 1, 0, 1, 0, 1}
+	if len(bits) != len(want) {
+		t.Fatalf("hook saw %d bits, want %d", len(bits), len(want))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestModExpEdgeCases(t *testing.T) {
+	if !ModExp(New(5), New(0), New(7)).Sub(New(1)).IsZero() {
+		t.Fatal("x^0 != 1")
+	}
+	if !ModExp(New(5), New(3), New(1)).IsZero() {
+		t.Fatal("mod 1 != 0")
+	}
+	if !ModExpLadder(New(5), New(3), New(1), nil).IsZero() {
+		t.Fatal("ladder mod 1 != 0")
+	}
+}
+
+func TestProbablyPrimeKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	primes := []uint64{2, 3, 5, 97, 101, 65537, 2147483647}
+	for _, p := range primes {
+		if !ProbablyPrime(New(p), 16, rng) {
+			t.Fatalf("%d misclassified composite", p)
+		}
+	}
+	composites := []uint64{1, 4, 100, 65535, 561 /* Carmichael */, 341550071728321}
+	for _, c := range composites {
+		if ProbablyPrime(New(c), 16, rng) {
+			t.Fatalf("%d misclassified prime", c)
+		}
+	}
+}
+
+func TestGeneratePrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := GeneratePrime(rng, 128, 12)
+	if p.BitLen() != 128 {
+		t.Fatalf("prime bit length %d", p.BitLen())
+	}
+	if !toBig(p).ProbablyPrime(20) {
+		t.Fatalf("generated value %v not prime per math/big", p)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	if GCD(New(12), New(18)).Uint64() != 6 {
+		t.Fatal("gcd(12,18)")
+	}
+	if GCD(New(17), New(31)).Uint64() != 1 {
+		t.Fatal("gcd of primes")
+	}
+}
+
+func TestModInverseMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		a := randNat(rng, 128)
+		m := randNat(rng, 128)
+		if m.IsZero() || m.Cmp(New(1)) == 0 {
+			continue
+		}
+		inv, ok := ModInverse(a, m)
+		wantOK := new(big.Int).GCD(nil, nil, toBig(a), toBig(m)).Cmp(big.NewInt(1)) == 0
+		if ok != wantOK {
+			t.Fatalf("invertibility mismatch for %v mod %v: got %v want %v", a, m, ok, wantOK)
+		}
+		if ok {
+			prod := a.ModMul(inv, m)
+			if prod.Cmp(New(1)) != 0 {
+				t.Fatalf("a·inv mod m = %v, want 1", prod)
+			}
+		}
+	}
+}
+
+func TestRandBelowInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	bound := MustHex("10000000000000000") // 2^64
+	for i := 0; i < 200; i++ {
+		if RandBelow(rng, bound).Cmp(bound) >= 0 {
+			t.Fatal("RandBelow out of range")
+		}
+	}
+}
+
+// TestAddSubInverseQuick property-tests (a+b)-b == a.
+func TestAddSubInverseQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seedA, seedB uint32) bool {
+		a := RandBits(rand.New(rand.NewSource(int64(seedA)+1)), int(seedA%500)+1)
+		b := RandBits(rand.New(rand.NewSource(int64(seedB)+1)), int(seedB%500)+1)
+		return a.Add(b).Sub(b).Cmp(a) == 0
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulDivInverseQuick property-tests (a·b)/b == a with remainder 0.
+func TestMulDivInverseQuick(t *testing.T) {
+	f := func(seedA, seedB uint32) bool {
+		a := RandBits(rand.New(rand.NewSource(int64(seedA)+1)), int(seedA%300)+1)
+		b := RandBits(rand.New(rand.NewSource(int64(seedB)+1)), int(seedB%300)+1)
+		q, r := a.Mul(b).DivMod(b)
+		return r.IsZero() && q.Cmp(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

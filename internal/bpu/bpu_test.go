@@ -1,0 +1,100 @@
+package bpu
+
+import "testing"
+
+func TestDirectionTraining(t *testing.T) {
+	b := New(DefaultConfig())
+	ip := uint64(0x400123)
+	// Weakly not-taken at reset.
+	if b.Predict(ip).Taken {
+		t.Fatal("fresh counter predicted taken")
+	}
+	// An always-taken branch: once the global history saturates to ones,
+	// the gshare index stabilises and the counter trains within two more
+	// executions.
+	for i := 0; i < DefaultConfig().HistoryBits+3; i++ {
+		b.Update(ip, true, 0x500000)
+	}
+	if !b.Predict(ip).Taken {
+		t.Fatal("always-taken branch still predicted not-taken")
+	}
+}
+
+func TestBTBTargetInjection(t *testing.T) {
+	b := New(DefaultConfig())
+	ip := uint64(0x7f00_1234)
+	b.Update(ip, true, 0xdead)
+	p := b.Predict(ip)
+	if !p.BTBHit || p.Target != 0xdead {
+		t.Fatalf("BTB miss after install: %+v", p)
+	}
+}
+
+// TestBTBMatches20Bits pins the §9.2 contrast: an IP aliasing in only the
+// low 12 bits does NOT hit the BTB (unlike the prefetcher's 8-bit index),
+// while one matching all 20 does.
+func TestBTBMatches20Bits(t *testing.T) {
+	b := New(DefaultConfig())
+	victim := uint64(0x0040_5678)
+	b.Update(victim, true, 0xbeef)
+
+	alias12 := victim ^ (1 << 15) // same low 12, different bit 15
+	if b.Predict(alias12).BTBHit {
+		t.Fatal("12-bit alias hit a 20-bit-matched BTB")
+	}
+	alias20 := victim ^ (1 << 25) // same low 20 bits
+	if !b.Predict(alias20).BTBHit {
+		t.Fatal("20-bit alias missed")
+	}
+}
+
+func TestMispredictCounting(t *testing.T) {
+	b := New(DefaultConfig())
+	ip := uint64(0x1000)
+	if mis := b.Update(ip, true, 0x2000); !mis {
+		t.Fatal("first taken branch must mispredict (weakly not-taken)")
+	}
+	n := DefaultConfig().HistoryBits + 3
+	for i := 0; i < n; i++ {
+		b.Update(ip, true, 0x2000)
+	}
+	if mis := b.Update(ip, true, 0x2000); mis {
+		t.Fatal("fully trained branch mispredicted")
+	}
+	if look, mis := b.Stats(); look != uint64(n+2) || mis == 0 {
+		t.Fatalf("stats: %d/%d", look, mis)
+	}
+}
+
+func TestHistoryAffectsIndex(t *testing.T) {
+	b := New(DefaultConfig())
+	ip := uint64(0x3000)
+	i1 := b.phtIndex(ip)
+	b.Update(0x9999, true, 0x1)
+	i2 := b.phtIndex(ip)
+	if i1 == i2 {
+		t.Fatal("global history did not move the PHT index")
+	}
+}
+
+// TestMistrainCostMatchesPaper reproduces the §9.2 numbers: ~26 000 cycles
+// for BPU mistraining under ASLR, versus 3–4 prefetcher loads
+// (1 000–2 000 cycles).
+func TestMistrainCostMatchesPaper(t *testing.T) {
+	candidates, cycles := MistrainCost(DefaultConfig(), 50)
+	if candidates != 256 {
+		t.Fatalf("candidates = %d, want 256 (2^(20-12))", candidates)
+	}
+	if cycles < 20_000 || cycles > 35_000 {
+		t.Fatalf("BPU mistrain cycles = %d, want ~26 000", cycles)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{})
+}

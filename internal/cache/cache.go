@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+)
+
+// Config shapes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  uint64
+	Ways       int
+	LineSize   uint64
+	Policy     PolicyKind
+	PolicySeed int64
+	Slices     int // 0 or 1: unsliced
+}
+
+// Sets computes the number of sets per slice.
+func (c Config) Sets() uint64 {
+	slices := c.Slices
+	if slices < 1 {
+		slices = 1
+	}
+	return c.SizeBytes / (c.LineSize * uint64(c.Ways) * uint64(slices))
+}
+
+// Validate rejects malformed configurations.
+func (c Config) Validate() error {
+	if c.LineSize == 0 || c.Ways <= 0 || c.SizeBytes == 0 {
+		return fmt.Errorf("cache %q: size, ways and line size must be positive", c.Name)
+	}
+	slices := c.Slices
+	if slices < 1 {
+		slices = 1
+	}
+	per := c.LineSize * uint64(c.Ways) * uint64(slices)
+	if c.SizeBytes%per != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line*slices", c.Name, c.SizeBytes)
+	}
+	return nil
+}
+
+// set is one associative set.
+type set struct {
+	lines []uint64 // physical line address per way
+	valid []bool
+	// prefetched marks lines installed by a prefetch and not yet demand-
+	// hit (for usefulness accounting).
+	prefetched []bool
+	policy     Policy
+}
+
+func newSet(ways int, kind PolicyKind, seed int64) *set {
+	return &set{
+		lines:      make([]uint64, ways),
+		valid:      make([]bool, ways),
+		prefetched: make([]bool, ways),
+		policy:     NewPolicy(kind, ways, seed),
+	}
+}
+
+func (s *set) lookup(line uint64) (way int, ok bool) {
+	for i, l := range s.lines {
+		if s.valid[i] && l == line {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// insert fills the line, returning the evicted line if a valid one was
+// displaced. Filling a line that is already resident (e.g. a prefetch of a
+// cached line) refreshes its replacement state in place — it must never
+// create a duplicate way, or a later flush would only remove one copy.
+func (s *set) insert(line uint64, asPrefetch bool) (evicted uint64, wasValid bool) {
+	if w, ok := s.lookup(line); ok {
+		s.policy.Touch(w)
+		return 0, false
+	}
+	for i, v := range s.valid {
+		if !v {
+			s.lines[i] = line
+			s.valid[i] = true
+			s.prefetched[i] = asPrefetch
+			s.policy.Insert(i)
+			return 0, false
+		}
+	}
+	w := s.policy.Victim()
+	evicted, wasValid = s.lines[w], true
+	s.lines[w] = line
+	s.prefetched[w] = asPrefetch
+	s.policy.Insert(w)
+	return evicted, wasValid
+}
+
+func (s *set) remove(line uint64) bool {
+	if w, ok := s.lookup(line); ok {
+		s.valid[w] = false
+		return true
+	}
+	return false
+}
+
+// Cache is one level: optionally sliced, set-associative, physically
+// indexed by cache-line address.
+type Cache struct {
+	cfg    Config
+	sets   [][]*set // [slice][set]
+	nsets  uint64
+	hits   uint64
+	misses uint64
+	// Prefetch usefulness accounting: lines installed by prefetch, and how
+	// many of those received a demand hit before eviction.
+	prefetchFills  uint64
+	usefulPrefetch uint64
+}
+
+// New constructs a cache from its config.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	slices := cfg.Slices
+	if slices < 1 {
+		slices = 1
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, nsets: nsets}
+	c.sets = make([][]*set, slices)
+	for s := range c.sets {
+		c.sets[s] = make([]*set, nsets)
+		for i := range c.sets[s] {
+			c.sets[s][i] = newSet(cfg.Ways, cfg.Policy, cfg.PolicySeed+int64(s*1000+i))
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSlices reports the slice count (≥ 1).
+func (c *Cache) NumSlices() int { return len(c.sets) }
+
+// NumSets reports sets per slice.
+func (c *Cache) NumSets() uint64 { return c.nsets }
+
+// SliceOf computes the slice index for a physical address using the
+// XOR-folding hash reverse-engineered for Haswell-class parts (Irazoqui et
+// al., DSD'15): each slice-selection bit is the parity of a subset of the
+// physical address bits. With one slice it returns 0.
+func (c *Cache) SliceOf(p mem.PAddr) int {
+	n := len(c.sets)
+	if n <= 1 {
+		return 0
+	}
+	return SliceHash(uint64(p), n)
+}
+
+// SetOf computes the set index of a physical address. Power-of-two set
+// counts index by masking like real hardware; other counts (e.g. the 1536
+// sets per Coffee Lake LLC slice) fold by modulo.
+func (c *Cache) SetOf(p mem.PAddr) uint64 {
+	line := uint64(p) / c.cfg.LineSize
+	if c.nsets&(c.nsets-1) == 0 {
+		return line & (c.nsets - 1)
+	}
+	return line % c.nsets
+}
+
+func (c *Cache) setFor(p mem.PAddr) *set {
+	return c.sets[c.SliceOf(p)][c.SetOf(p)]
+}
+
+// Contains reports whether the line of p is resident (no state change).
+func (c *Cache) Contains(p mem.PAddr) bool {
+	_, ok := c.setFor(p).lookup(uint64(p) / c.cfg.LineSize)
+	return ok
+}
+
+// Access touches the line of p. On a hit the replacement state is updated;
+// on a miss nothing is filled (use Fill). It reports the hit.
+func (c *Cache) Access(p mem.PAddr) bool {
+	s := c.setFor(p)
+	if w, ok := s.lookup(uint64(p) / c.cfg.LineSize); ok {
+		s.policy.Touch(w)
+		c.hits++
+		if s.prefetched[w] {
+			s.prefetched[w] = false
+			c.usefulPrefetch++
+		}
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Fill inserts the line of p as a demand fill, returning the physical line
+// address it evicted (valid only when evicted==true).
+func (c *Cache) Fill(p mem.PAddr) (evictedLine uint64, evicted bool) {
+	return c.setFor(p).insert(uint64(p)/c.cfg.LineSize, false)
+}
+
+// FillPrefetch inserts the line of p as a prefetch fill, participating in
+// the usefulness accounting (a later demand hit marks it useful).
+func (c *Cache) FillPrefetch(p mem.PAddr) (evictedLine uint64, evicted bool) {
+	c.prefetchFills++
+	return c.setFor(p).insert(uint64(p)/c.cfg.LineSize, true)
+}
+
+// PrefetchStats reports prefetch fills and how many were demand-hit before
+// eviction (the coverage/accuracy inputs of a prefetcher study).
+func (c *Cache) PrefetchStats() (fills, useful uint64) {
+	return c.prefetchFills, c.usefulPrefetch
+}
+
+// Remove invalidates the line of p if present (clflush / back-invalidate).
+func (c *Cache) Remove(p mem.PAddr) bool {
+	return c.setFor(p).remove(uint64(p) / c.cfg.LineSize)
+}
+
+// RemoveLine invalidates by physical line address (for back-invalidation of
+// lines reported by Fill).
+func (c *Cache) RemoveLine(line uint64) bool {
+	p := mem.PAddr(line * c.cfg.LineSize)
+	return c.Remove(p)
+}
+
+// Stats reports cumulative hits and misses observed by Access.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats clears the hit/miss counters.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// SliceHash is the standalone XOR-folding slice hash: it computes, for a
+// power-of-two slice count, each selection bit as the parity of a fixed
+// subset of physical address bits (the published Haswell functions); for
+// non-power-of-two counts it folds the same parities modulo n.
+func SliceHash(paddr uint64, n int) int {
+	// Published XOR masks for the first three selection bits (o0..o2).
+	masks := [3]uint64{
+		0x1b5f575440, // bit 0
+		0x2eb5faa880, // bit 1
+		0x3cccc93100, // bit 2
+	}
+	h := 0
+	for b := 0; b < 3; b++ {
+		h |= int(parity(paddr&masks[b])) << b
+	}
+	if n&(n-1) == 0 {
+		return h & (n - 1)
+	}
+	return h % n
+}
+
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}

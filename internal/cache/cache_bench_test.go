@@ -1,0 +1,44 @@
+package cache
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := MustNew(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, Policy: TreePLRU})
+	c.Fill(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkCacheFillEvict(b *testing.B) {
+	c := MustNew(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, Policy: TreePLRU})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(mem.PAddr(uint64(i) * 64))
+	}
+}
+
+func BenchmarkHierarchyLoadMiss(b *testing.B) {
+	cfg := HierarchyConfig{
+		L1:  Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, Policy: TreePLRU},
+		L2:  Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4, LineSize: 64, Policy: TreePLRU},
+		LLC: Config{Name: "LLC", SizeBytes: 2 << 20, Ways: 16, LineSize: 64, Policy: LRU},
+		Lat: Latencies{L1: 4, L2: 14, LLC: 44, DRAM: 200},
+	}
+	h, _ := NewHierarchy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(mem.PAddr(uint64(i) * 64))
+	}
+}
+
+func BenchmarkSliceHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SliceHash(uint64(i)*64, 8)
+	}
+}

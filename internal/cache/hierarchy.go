@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+)
+
+// Level identifies where an access was served.
+type Level int
+
+// Hierarchy levels, ordered from fastest to slowest.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Latencies carries the load-to-use latency (cycles) of each level.
+type Latencies struct {
+	L1, L2, LLC, DRAM uint64
+}
+
+// Of returns the latency for a level.
+func (l Latencies) Of(level Level) uint64 {
+	switch level {
+	case LevelL1:
+		return l.L1
+	case LevelL2:
+		return l.L2
+	case LevelLLC:
+		return l.LLC
+	default:
+		return l.DRAM
+	}
+}
+
+// HierarchyConfig describes the full three-level hierarchy.
+type HierarchyConfig struct {
+	L1, L2, LLC Config
+	Lat         Latencies
+}
+
+// Hierarchy is an inclusive L1D/L2/LLC stack. Inclusivity means every line
+// in L1 or L2 is also in the LLC, so evicting an LLC line back-invalidates
+// the inner levels — the property Prime+Probe on the LLC relies on.
+type Hierarchy struct {
+	L1, L2, LLC *Cache
+	Lat         Latencies
+}
+
+// NewHierarchy builds the stack from a config.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1, err := New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := New(cfg.LLC)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2, LLC: llc, Lat: cfg.Lat}, nil
+}
+
+// Load performs a demand load of the line containing p: it reports the level
+// that served it and its latency, and fills all levels on the way in.
+func (h *Hierarchy) Load(p mem.PAddr) (Level, uint64) {
+	switch {
+	case h.L1.Access(p):
+		return LevelL1, h.Lat.L1
+	case h.L2.Access(p):
+		h.fillL1(p)
+		return LevelL2, h.Lat.L2
+	case h.LLC.Access(p):
+		h.fillL2(p)
+		h.fillL1(p)
+		return LevelLLC, h.Lat.LLC
+	default:
+		h.Fill(p)
+		return LevelDRAM, h.Lat.DRAM
+	}
+}
+
+// Probe reports the level that would serve p without disturbing any state.
+func (h *Hierarchy) Probe(p mem.PAddr) Level {
+	switch {
+	case h.L1.Contains(p):
+		return LevelL1
+	case h.L2.Contains(p):
+		return LevelL2
+	case h.LLC.Contains(p):
+		return LevelLLC
+	default:
+		return LevelDRAM
+	}
+}
+
+// ProbeLatency reports the latency a load of p would observe, without
+// changing state.
+func (h *Hierarchy) ProbeLatency(p mem.PAddr) uint64 { return h.Lat.Of(h.Probe(p)) }
+
+// Fill installs the line of p into every level, maintaining inclusivity.
+// Prefetchers use this as the fill path for prefetch requests.
+func (h *Hierarchy) Fill(p mem.PAddr) {
+	if ev, ok := h.LLC.Fill(p); ok {
+		// Inclusive: a line leaving the LLC must leave the inner levels too.
+		h.L2.RemoveLine(ev)
+		h.L1.RemoveLine(ev)
+	}
+	h.fillL2(p)
+	h.fillL1(p)
+}
+
+// Prefetch installs the line of p into every level as a prefetch fill:
+// identical to Fill for the cache contents, but the line participates in
+// the usefulness accounting until its first demand hit.
+func (h *Hierarchy) Prefetch(p mem.PAddr) {
+	if ev, ok := h.LLC.FillPrefetch(p); ok {
+		h.L2.RemoveLine(ev)
+		h.L1.RemoveLine(ev)
+	}
+	h.L2.FillPrefetch(p)
+	h.L1.FillPrefetch(p)
+}
+
+// FillLLCOnly installs into the LLC only (used by streamer-style prefetchers
+// configured to fill the outer level).
+func (h *Hierarchy) FillLLCOnly(p mem.PAddr) {
+	if ev, ok := h.LLC.Fill(p); ok {
+		h.L2.RemoveLine(ev)
+		h.L1.RemoveLine(ev)
+	}
+}
+
+func (h *Hierarchy) fillL1(p mem.PAddr) {
+	h.L1.Fill(p) // L1 evictions fall back to L2/LLC which already hold the line
+}
+
+func (h *Hierarchy) fillL2(p mem.PAddr) {
+	h.L2.Fill(p)
+}
+
+// Flush removes the line of p from every level (clflush).
+func (h *Hierarchy) Flush(p mem.PAddr) {
+	h.L1.Remove(p)
+	h.L2.Remove(p)
+	h.LLC.Remove(p)
+}
+
+// Contains reports whether any level holds the line of p.
+func (h *Hierarchy) Contains(p mem.PAddr) bool { return h.Probe(p) != LevelDRAM }

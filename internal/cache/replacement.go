@@ -1,0 +1,222 @@
+// Package cache implements the memory-hierarchy substrate of the AfterImage
+// simulator: set-associative caches with pluggable replacement policies, a
+// sliced last-level cache with a Haswell-style XOR slice hash, and an
+// inclusive three-level hierarchy offering the access, flush and fill
+// operations the attacks build on.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy is a per-set replacement policy over a fixed number of ways.
+//
+// The same interface backs both cache sets and the IP-stride prefetcher's
+// history table (§4.5 of the paper concludes the latter uses Bit-PLRU).
+type Policy interface {
+	// Touch records a hit on the given way.
+	Touch(way int)
+	// Victim selects the way to evict when the set is full. It must not
+	// change the policy state; the subsequent Insert does.
+	Victim() int
+	// Insert records that the way was (re)filled.
+	Insert(way int)
+	// Name identifies the policy.
+	Name() string
+}
+
+// PolicyKind enumerates the built-in replacement policies.
+type PolicyKind int
+
+const (
+	// LRU is true least-recently-used.
+	LRU PolicyKind = iota
+	// FIFO evicts in insertion order, ignoring hits.
+	FIFO
+	// BitPLRU is the MRU-bit approximation of LRU that §4.5 identifies in
+	// the IP-stride prefetcher.
+	BitPLRU
+	// TreePLRU is the binary-tree approximation common in cache ways.
+	TreePLRU
+	// RandomPolicy evicts a pseudo-random way (seeded, deterministic).
+	RandomPolicy
+)
+
+// String names the kind.
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case BitPLRU:
+		return "Bit-PLRU"
+	case TreePLRU:
+		return "Tree-PLRU"
+	case RandomPolicy:
+		return "Random"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// NewPolicy constructs a policy of the given kind for w ways. The seed is
+// only used by RandomPolicy.
+func NewPolicy(kind PolicyKind, w int, seed int64) Policy {
+	switch kind {
+	case LRU:
+		return newLRU(w)
+	case FIFO:
+		return newFIFO(w)
+	case BitPLRU:
+		return NewBitPLRU(w)
+	case TreePLRU:
+		return newTreePLRU(w)
+	case RandomPolicy:
+		return &randomPolicy{ways: w, rng: rand.New(rand.NewSource(seed))}
+	default:
+		panic(fmt.Sprintf("cache: unknown policy kind %v", kind))
+	}
+}
+
+// lru keeps an exact recency ordering; stamps[i] is the virtual time of the
+// last touch of way i.
+type lru struct {
+	clock  uint64
+	stamps []uint64
+}
+
+func newLRU(w int) *lru { return &lru{stamps: make([]uint64, w)} }
+
+func (p *lru) Touch(way int) { p.clock++; p.stamps[way] = p.clock }
+
+func (p *lru) Victim() int {
+	best, bestStamp := 0, p.stamps[0]
+	for i, s := range p.stamps[1:] {
+		if s < bestStamp {
+			best, bestStamp = i+1, s
+		}
+	}
+	return best
+}
+
+func (p *lru) Insert(way int) { p.Touch(way) }
+func (p *lru) Name() string   { return "LRU" }
+
+// fifo evicts in insertion order; Touch is a no-op.
+type fifo struct {
+	order []uint64
+	clock uint64
+}
+
+func newFIFO(w int) *fifo { return &fifo{order: make([]uint64, w)} }
+
+func (p *fifo) Touch(int) {}
+
+func (p *fifo) Victim() int {
+	best, bestStamp := 0, p.order[0]
+	for i, s := range p.order[1:] {
+		if s < bestStamp {
+			best, bestStamp = i+1, s
+		}
+	}
+	return best
+}
+
+func (p *fifo) Insert(way int) { p.clock++; p.order[way] = p.clock }
+func (p *fifo) Name() string   { return "FIFO" }
+
+// bitPLRU keeps one MRU bit per way. A touch sets the way's bit; when that
+// would make all bits one, every other bit is cleared first. The victim is
+// the lowest-indexed way whose bit is clear. This is the textbook Bit-PLRU
+// and reproduces the eviction patterns of Figures 8a and 8b.
+type bitPLRU struct {
+	mru  []bool
+	ones int
+}
+
+// NewBitPLRU builds a Bit-PLRU policy over w ways. It is exported because
+// the prefetcher package reuses it directly for its history table.
+func NewBitPLRU(w int) Policy { return &bitPLRU{mru: make([]bool, w)} }
+
+func (p *bitPLRU) Touch(way int) {
+	if !p.mru[way] {
+		p.ones++
+		p.mru[way] = true
+	}
+	if p.ones == len(p.mru) {
+		for i := range p.mru {
+			p.mru[i] = false
+		}
+		p.mru[way] = true
+		p.ones = 1
+	}
+}
+
+func (p *bitPLRU) Victim() int {
+	for i, b := range p.mru {
+		if !b {
+			return i
+		}
+	}
+	return 0 // unreachable: Touch never leaves all bits set
+}
+
+func (p *bitPLRU) Insert(way int) { p.Touch(way) }
+func (p *bitPLRU) Name() string   { return "Bit-PLRU" }
+
+// treePLRU is the classic binary-tree pseudo-LRU (ways must be a power of 2;
+// other widths are rounded up internally and out-of-range victims re-walked).
+type treePLRU struct {
+	ways int
+	bits []bool // internal nodes of a complete binary tree
+}
+
+func newTreePLRU(w int) *treePLRU {
+	n := 1
+	for n < w {
+		n <<= 1
+	}
+	return &treePLRU{ways: w, bits: make([]bool, n)} // bits[1..n-1] used
+}
+
+func (p *treePLRU) Touch(way int) {
+	n := len(p.bits)
+	idx := n + way
+	for idx > 1 {
+		parent := idx / 2
+		p.bits[parent] = idx%2 == 0 // point away from the touched child
+		idx = parent
+	}
+}
+
+func (p *treePLRU) Victim() int {
+	n := len(p.bits)
+	idx := 1
+	for idx < n {
+		if p.bits[idx] {
+			idx = 2*idx + 1
+		} else {
+			idx = 2 * idx
+		}
+	}
+	v := idx - n
+	if v >= p.ways {
+		v = p.ways - 1
+	}
+	return v
+}
+
+func (p *treePLRU) Insert(way int) { p.Touch(way) }
+func (p *treePLRU) Name() string   { return "Tree-PLRU" }
+
+type randomPolicy struct {
+	ways int
+	rng  *rand.Rand
+}
+
+func (p *randomPolicy) Touch(int)      {}
+func (p *randomPolicy) Victim() int    { return p.rng.Intn(p.ways) }
+func (p *randomPolicy) Insert(way int) {}
+func (p *randomPolicy) Name() string   { return "Random" }

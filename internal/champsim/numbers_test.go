@@ -1,0 +1,24 @@
+package champsim
+
+import (
+	"testing"
+
+	"afterimage/internal/trace"
+)
+
+// TestPrintStudyNumbers is a diagnostic; run with -v to see the table.
+func TestPrintStudyNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	results, err := RunStudy(DefaultConfig(), trace.SPECLike(), 120_000, 30_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%-18s benefit=%6.2f%% slowdown=%6.3f%% (base IPC %.3f)",
+			r.Profile.Name, r.PrefetchBenefit()*100, r.Slowdown()*100, r.Base.IPC())
+	}
+	top, all := Summary(results, 8)
+	t.Logf("top-8 slowdown: %.3f%%  overall: %.3f%%", top*100, all*100)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// The covert channel (§5.3) transmits the stride value itself: the sender
+// trains a protocol entry with stride = symbol; the receiver issues one
+// matching-IP load on a shared page, lets the prefetcher echo the stride,
+// and reads it back as the distance between the two cached lines. One round
+// moves 5 bits (strides are observable at cache-line granularity and must
+// stay below 2 KiB, footnote 5).
+
+// SymbolBits is the payload width per round.
+const SymbolBits = 5
+
+// symbolStride maps a 5-bit symbol to a signed line stride. The encoding
+// must respect two hardware constraints: |stride| stays below 2 KiB (32
+// lines, §4.2) and above 4 lines so the noise prefetchers cannot fake it
+// (§7.1). Symbols 0..15 map to strides +5..+20, symbols 16..31 to -5..-20.
+func symbolStride(sym uint8) int64 {
+	if sym < 16 {
+		return int64(sym) + 5
+	}
+	return -(int64(sym) - 16 + 5)
+}
+
+func strideSymbol(stride int64) (uint8, bool) {
+	switch {
+	case stride >= 5 && stride <= 20:
+		return uint8(stride - 5), true
+	case stride <= -5 && stride >= -20:
+		return uint8(16 + (-stride - 5)), true
+	default:
+		return 0, false
+	}
+}
+
+// CovertConfig fixes the protocol parameters both sides agree on offline.
+type CovertConfig struct {
+	// ProtocolIPLow8 is the shared entry's low-8 index.
+	ProtocolIPLow8 uint8
+	// TriggerLine is the shared-page line the receiver touches each round.
+	TriggerLine int
+	// TrainRounds is the sender's training length per symbol.
+	TrainRounds int
+}
+
+// DefaultCovertConfig mirrors the paper's setup (stride b'11110 in the
+// demonstration, training in a handful of iterations). The trigger line
+// sits mid-page so both positive and negative echoes stay inside it.
+func DefaultCovertConfig() CovertConfig {
+	return CovertConfig{ProtocolIPLow8: 0x5A, TriggerLine: 32, TrainRounds: 4}
+}
+
+// CovertSender encodes symbols by training the protocol entry in its own
+// address space.
+type CovertSender struct {
+	cfg CovertConfig
+	buf *mem.Mapping
+}
+
+// NewCovertSender allocates the sender's private training buffer: several
+// physically sequential locked pages so even the largest symbol's training
+// ramp (TrainRounds × 36 lines) runs as a clean arithmetic sequence.
+func NewCovertSender(env *sim.Env, cfg CovertConfig) *CovertSender {
+	rounds := cfg.TrainRounds
+	if rounds < 3 {
+		rounds = 3
+	}
+	maxSpan := uint64(rounds) * 20 * LineSize // largest |stride| is 20 lines
+	pages := maxSpan/mem.PageSize + 2
+	s := &CovertSender{cfg: cfg, buf: env.Mmap(pages*mem.PageSize, mem.MapLocked)}
+	for off := uint64(0); off < s.buf.Length; off += mem.PageSize {
+		env.WarmTLB(s.buf.Base + mem.VAddr(off))
+	}
+	return s
+}
+
+// Send trains the protocol entry with the symbol's stride. The entry's
+// confidence saturates, priming it to echo the stride at the receiver's
+// next trigger.
+func (s *CovertSender) Send(env *sim.Env, sym uint8) error {
+	if sym >= 1<<SymbolBits {
+		return fmt.Errorf("core: symbol %d exceeds %d bits", sym, SymbolBits)
+	}
+	stride := symbolStride(sym) * LineSize
+	ip := IPWithLow8(0x50_0000, s.cfg.ProtocolIPLow8)
+	start := int64(0)
+	if stride < 0 {
+		// Descend from the top of the buffer for negative strides.
+		start = int64(s.buf.Length) - LineSize
+	}
+	for i := int64(0); i < int64(s.cfg.TrainRounds); i++ {
+		env.Load(ip, s.buf.Base+mem.VAddr(start+i*stride))
+	}
+	return nil
+}
+
+// CovertReceiver decodes symbols from the prefetcher echo on a shared page.
+type CovertReceiver struct {
+	cfg    CovertConfig
+	fr     *FlushReload
+	shared mem.VAddr
+}
+
+// NewCovertReceiver builds the receiver over its mapping of the shared page.
+func NewCovertReceiver(env *sim.Env, cfg CovertConfig, sharedPage mem.VAddr) *CovertReceiver {
+	return &CovertReceiver{cfg: cfg, fr: NewFlushReload(), shared: sharedPage}
+}
+
+// Prepare flushes the shared page before yielding to the sender.
+func (r *CovertReceiver) Prepare(env *sim.Env) { r.fr.FlushPage(env, r.shared) }
+
+// Receive triggers the trained entry with one matching-IP load on the shared
+// page and recovers the stride from the cached-line distance.
+func (r *CovertReceiver) Receive(env *sim.Env) (uint8, bool) {
+	trigger := r.shared + mem.VAddr(r.cfg.TriggerLine*LineSize)
+	env.WarmTLB(trigger)
+	env.Load(IPWithLow8(0x51_0000, r.cfg.ProtocolIPLow8), trigger)
+	_, hits := r.fr.ReloadPage(env, r.shared)
+	// Remove the trigger line itself, then measure the echo distance.
+	var echo []int
+	for _, h := range hits {
+		if h != r.cfg.TriggerLine {
+			echo = append(echo, h)
+		}
+	}
+	for _, h := range echo {
+		if sym, ok := strideSymbol(int64(h - r.cfg.TriggerLine)); ok {
+			return sym, true
+		}
+	}
+	return 0, false
+}

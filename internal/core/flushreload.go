@@ -1,0 +1,101 @@
+package core
+
+import (
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// ReloadOrder selects the line-visit order of the reload sweep.
+type ReloadOrder int
+
+const (
+	// OrderZigzag visits 0, 63, 1, 62, …: every consecutive delta is
+	// distinct, so the reload loop can never train the IP-stride entry it
+	// runs under (two equal consecutive deltas are required), and the few
+	// small-delta steps at the end only touch lines that were already
+	// measured. This improves on the artifact's shuffled order, which
+	// leaves ~1 self-inflicted false hit per sweep.
+	OrderZigzag ReloadOrder = iota
+	// OrderShuffle is the artifact's Fisher–Yates randomised order
+	// (appendix A.6) — defeats the stream prefetchers, but consecutive
+	// equal deltas occasionally occur and echo a phantom line.
+	OrderShuffle
+	// OrderSequential is the naive ascending sweep; it triggers the stream
+	// prefetchers constantly and exists for the ablation benchmarks.
+	OrderSequential
+)
+
+// FlushReload is the shared-memory secret-extraction back-end (§3.1, §5.1).
+// The attacker flushes a shared page before the victim runs and afterwards
+// reloads it line by line; lines the victim (or the prefetcher it
+// triggered) touched come back fast.
+type FlushReload struct {
+	// ReloadIP is the instruction pointer of the reload loads; its low 8
+	// bits are reserved so the reload loop cannot alias a trained entry.
+	ReloadIP uint64
+	// Order is the reload sweep order.
+	Order ReloadOrder
+}
+
+// NewFlushReload returns the default configuration (zigzag order).
+func NewFlushReload() *FlushReload {
+	return &FlushReload{ReloadIP: IPWithLow8(0x70_0000, ReloadIPLow8), Order: OrderZigzag}
+}
+
+// FlushPage clflushes all 64 lines of the page at base.
+func (fr *FlushReload) FlushPage(env *sim.Env, base mem.VAddr) {
+	for l := 0; l < LinesPerPage; l++ {
+		env.Flush(base + mem.VAddr(l*LineSize))
+	}
+	env.Fence()
+}
+
+// reloadOrder materialises the configured visit order.
+func (fr *FlushReload) reloadOrder(env *sim.Env) []int {
+	switch fr.Order {
+	case OrderShuffle:
+		return env.Shuffle(LinesPerPage)
+	case OrderSequential:
+		seq := make([]int, LinesPerPage)
+		for i := range seq {
+			seq[i] = i
+		}
+		return seq
+	default:
+		order := make([]int, 0, LinesPerPage)
+		lo, hi := 0, LinesPerPage-1
+		for lo <= hi {
+			order = append(order, lo)
+			if lo != hi {
+				order = append(order, hi)
+			}
+			lo++
+			hi--
+		}
+		return order
+	}
+}
+
+// ReloadPage times a load of every line of the page at base and returns the
+// 64 measured latencies plus the indices classified as hits.
+func (fr *FlushReload) ReloadPage(env *sim.Env, base mem.VAddr) (latencies []uint64, hits []int) {
+	latencies = make([]uint64, LinesPerPage)
+	env.WarmTLB(base)
+	for _, l := range fr.reloadOrder(env) {
+		latencies[l] = env.TimeLoad(fr.ReloadIP, base+mem.VAddr(l*LineSize))
+		env.Fence()
+	}
+	thr := env.HitThreshold()
+	for l, lat := range latencies {
+		if lat < thr {
+			hits = append(hits, l)
+		}
+	}
+	return latencies, hits
+}
+
+// ReloadLine times a single line (PSC-style single-destination check).
+func (fr *FlushReload) ReloadLine(env *sim.Env, addr mem.VAddr) (latency uint64, hit bool) {
+	latency = env.TimeLoad(fr.ReloadIP, addr)
+	return latency, latency < env.HitThreshold()
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// IPSearch implements the §5.2 technique for targets whose IPs cannot be
+// disassembled (kernel functions): because the prefetcher indexes with only
+// the least-significant 8 bits of the IP — and ASLR/KASLR cannot change the
+// low 12 bits — the search space is 256 values. Candidates are trained in
+// groups of table size (24) so the whole group fits the history table; the
+// group whose training produces a strided footprint in shared memory after
+// invoking the victim contains the target, which a per-candidate pass then
+// pins down.
+type IPSearch struct {
+	// StrideLines is the training stride (choose > 4 lines and uncommon,
+	// §7.1 — the experiments use 11).
+	StrideLines int64
+	// GroupSize defaults to the prefetcher entry count (24, §4.4).
+	GroupSize int
+	// Rounds is how many train-invoke-reload repetitions each trial runs;
+	// Confirm is how many of them must show the footprint for a positive.
+	// Requiring two concordant rounds suppresses the rare false echoes the
+	// attacker's own reload churn can produce, while the victim branch
+	// being not-taken on some invocations only costs extra rounds (§5.2).
+	Rounds  int
+	Confirm int
+	// IPBase provides the attacker-code high IP bits.
+	IPBase uint64
+
+	fr *FlushReload
+}
+
+// NewIPSearch returns a searcher with the paper's parameters.
+func NewIPSearch() *IPSearch {
+	return &IPSearch{
+		StrideLines: 11,
+		GroupSize:   24,
+		Rounds:      6,
+		Confirm:     2,
+		IPBase:      0x60_0000,
+		fr:          NewFlushReload(),
+	}
+}
+
+// reserved reports low-8 values the attacker must not train (its own
+// measurement loads live there).
+func reserved(low8 int) bool {
+	switch uint8(low8) {
+	case ReloadIPLow8, ProbeIPLow8, PSCIPLow8:
+		return true
+	}
+	return false
+}
+
+// trial trains the given candidate low-8 values, flushes the shared page,
+// invokes the victim, and reloads: it reports whether the trained stride
+// footprint appeared.
+func (s *IPSearch) trial(env *sim.Env, candidates []int, sharedPage mem.VAddr, invoke func(*sim.Env)) (bool, error) {
+	entries := make([]TrainEntry, 0, len(candidates))
+	for _, c := range candidates {
+		entries = append(entries, TrainEntry{
+			IP:          IPWithLow8(s.IPBase, uint8(c)),
+			StrideLines: s.StrideLines,
+		})
+	}
+	g, err := NewGadget(env, entries)
+	if err != nil {
+		return false, err
+	}
+	confirm := s.Confirm
+	if confirm < 1 {
+		confirm = 1
+	}
+	positives := 0
+	for r := 0; r < s.Rounds; r++ {
+		g.Train(env, 4)
+		s.fr.FlushPage(env, sharedPage)
+		invoke(env)
+		_, hits := s.fr.ReloadPage(env, sharedPage)
+		if _, ok := DetectStride(hits, []int64{s.StrideLines}); ok {
+			positives++
+			if positives >= confirm {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Run locates the low 8 IP bits of the victim's branch-guarded load,
+// repeating the whole search when noise spoils a pass (§5.2: "this process
+// can be repeated multiple times until the IP is found"). The invoke
+// callback triggers the victim (e.g. issues the syscall of Listing 7);
+// sharedPage is the attacker-visible page the victim's load touches.
+func (s *IPSearch) Run(env *sim.Env, sharedPage mem.VAddr, invoke func(*sim.Env)) (uint8, error) {
+	var err error
+	var found uint8
+	for attempt := 0; attempt < 4; attempt++ {
+		found, err = s.runOnce(env, sharedPage, invoke)
+		if err == nil {
+			return found, nil
+		}
+	}
+	return 0, err
+}
+
+func (s *IPSearch) runOnce(env *sim.Env, sharedPage mem.VAddr, invoke func(*sim.Env)) (uint8, error) {
+	var all []int
+	for c := 0; c < 256; c++ {
+		if !reserved(c) {
+			all = append(all, c)
+		}
+	}
+	// Phase 1: group scan.
+	var hot []int
+	for lo := 0; lo < len(all); lo += s.GroupSize {
+		hi := lo + s.GroupSize
+		if hi > len(all) {
+			hi = len(all)
+		}
+		group := all[lo:hi]
+		ok, err := s.trial(env, group, sharedPage, invoke)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hot = group
+			break
+		}
+	}
+	if hot == nil {
+		return 0, fmt.Errorf("core: IP search found no responsive group")
+	}
+	// Phase 2: pin down the candidate inside the hot group.
+	for _, c := range hot {
+		ok, err := s.trial(env, []int{c}, sharedPage, invoke)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return uint8(c), nil
+		}
+	}
+	return 0, fmt.Errorf("core: IP search group %v did not confirm a single candidate", hot)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"afterimage/internal/evict"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// PageMonitor is the Prime+Probe back-end of AfterImage-Cache (§5.1): one
+// minimal eviction set per cache line of a monitored victim page, so a
+// probe sweep yields a 64-point "which line did the victim (or its
+// prefetch) touch" vector, exactly the x-axis of Figure 13.
+type PageMonitor struct {
+	Sets     []*evict.Set
+	baseline []uint64 // per-set probe latency with no victim activity
+}
+
+// NewPageMonitor builds eviction sets covering the page that holds the
+// physical address pagePA.
+func NewPageMonitor(env *sim.Env, b *evict.Builder, pagePA mem.PAddr) (*PageMonitor, error) {
+	sets, err := b.ForVictimPage(pagePA)
+	if err != nil {
+		return nil, fmt.Errorf("core: building page monitor: %w", err)
+	}
+	return &PageMonitor{Sets: sets}, nil
+}
+
+// Calibrate primes and immediately probes each set with no victim in
+// between, recording the quiescent probe latency that Probe subtracts.
+func (pm *PageMonitor) Calibrate(env *sim.Env) {
+	pm.baseline = make([]uint64, len(pm.Sets))
+	for i, s := range pm.Sets {
+		s.Prime(env)
+		pm.baseline[i] = s.Probe(env)
+	}
+	// Probing filled the sets again, leaving them primed.
+}
+
+// Prime fills every monitored set with attacker lines.
+func (pm *PageMonitor) Prime(env *sim.Env) {
+	for _, s := range pm.Sets {
+		s.Prime(env)
+	}
+}
+
+// Probe measures every set and returns the per-line time delta versus the
+// calibrated baseline (the y-axis of Figure 13a/13b). Positive spikes mean
+// the victim evicted attacker lines from that set.
+func (pm *PageMonitor) Probe(env *sim.Env) []int64 {
+	deltas := make([]int64, len(pm.Sets))
+	for i, s := range pm.Sets {
+		t := s.Probe(env)
+		var base uint64
+		if pm.baseline != nil {
+			base = pm.baseline[i]
+		}
+		deltas[i] = int64(t) - int64(base)
+	}
+	return deltas
+}
+
+// HitLines classifies a probe delta vector: a line counts as touched when
+// its delta exceeds perLineThreshold (cycles; the LLC-versus-DRAM gap times
+// the number of evicted ways, ~120 for a single line).
+func HitLines(deltas []int64, perLineThreshold int64) []int {
+	var hits []int
+	for i, d := range deltas {
+		if d > perLineThreshold {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"afterimage/internal/evict"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+	"afterimage/internal/victim"
+)
+
+// primeProbeSetup builds the Figure 13a configuration: a same-address-space
+// attacker monitoring the victim page with one eviction set per line.
+func primeProbeSetup(t *testing.T, seed int64) (*sim.Machine, *sim.Env, *victim.Branchy, *PageMonitor) {
+	t.Helper()
+	m := sim.NewMachine(sim.Quiet(sim.Haswell(seed)))
+	proc := m.NewProcess("shared-space")
+	env := m.Direct(proc)
+	page := env.Mmap(mem.PageSize, mem.MapLocked)
+	vic := victim.NewBranchy(page.Base)
+	b, err := evict.NewBuilder(env, 4096, 0x10e0, 0x20e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := proc.AS.Translate(page.Base)
+	pm, err := NewPageMonitor(env, b, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pm.Sets {
+		for _, l := range s.Lines {
+			env.WarmTLB(l)
+		}
+	}
+	pm.Calibrate(env)
+	return m, env, vic, pm
+}
+
+// TestVariant1PrimeProbeIfPath reproduces Figure 13a: after the victim takes
+// the if-path, exactly the trigger line and the line stride-7 away spike.
+func TestVariant1PrimeProbeIfPath(t *testing.T) {
+	_, env, vic, pm := primeProbeSetup(t, 31)
+	g := MustNewGadget(env, []TrainEntry{
+		{IP: IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: 7},
+		{IP: IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: 13},
+	})
+	g.Train(env, 4)
+	pm.Prime(env)
+	vic.Step(env, true) // if-path
+	deltas := pm.Probe(env)
+	hits := HitLines(deltas, 120)
+	s, ok := DetectStride(hits, []int64{7, 13})
+	if !ok || s != 7 {
+		t.Fatalf("if-path probe: stride=%d ok=%v hits=%v", s, ok, hits)
+	}
+	// The two hot sets must be the trigger line and trigger+7.
+	want := map[int]bool{vic.Line: true, vic.Line + 7: true}
+	for _, h := range hits {
+		if !want[h] {
+			t.Fatalf("unexpected hot set %d (hits %v)", h, hits)
+		}
+	}
+}
+
+// TestVariant1PrimeProbeRoundByRound reproduces Figure 13b: consecutive
+// rounds recover the victim's execution flow (secret b'10: else then if).
+func TestVariant1PrimeProbeRoundByRound(t *testing.T) {
+	_, env, vic, pm := primeProbeSetup(t, 32)
+	g := MustNewGadget(env, []TrainEntry{
+		{IP: IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: 7},
+		{IP: IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: 13},
+	})
+	secret := []bool{false, true} // b'10 read LSB-first as in §7.2
+	var inferred []bool
+	for _, bit := range secret {
+		g.Train(env, 4)
+		pm.Prime(env)
+		vic.Step(env, bit)
+		hits := HitLines(pm.Probe(env), 120)
+		s, ok := DetectStride(hits, []int64{7, 13})
+		inferred = append(inferred, ok && s == 7)
+	}
+	for i := range secret {
+		if inferred[i] != secret[i] {
+			t.Fatalf("round %d: inferred %v, want %v", i, inferred[i], secret[i])
+		}
+	}
+}
+
+func TestHitLinesThreshold(t *testing.T) {
+	deltas := []int64{5, 180, -20, 121, 120}
+	got := HitLines(deltas, 120)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("HitLines = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+// Package ecc provides the forward-error-correction layer this library
+// adds on top of the paper's covert channel: Hamming(7,4) codewords plus a
+// block interleaver. A lost covert symbol corrupts five adjacent bits;
+// interleaving spreads those bursts across many codewords so each picks up
+// at most one flipped bit, which Hamming corrects. This trades 7/4 rate
+// for reliability — relevant for the multi-entry configurations whose raw
+// error rate exceeds 25 % (§7.2).
+package ecc
+
+// Hamming(7,4) with bit order [p1 p2 d1 p3 d2 d3 d4] (1-indexed positions
+// 1..7; parity bits at powers of two). Syndromes directly index the flipped
+// position.
+
+// encodeNibble produces the 7 code bits of a 4-bit value d3..d0.
+func encodeNibble(n byte) [7]bool {
+	d1 := n>>3&1 == 1
+	d2 := n>>2&1 == 1
+	d3 := n>>1&1 == 1
+	d4 := n&1 == 1
+	p1 := d1 != d2 != d4 // parity over positions 3,5,7
+	p2 := d1 != d3 != d4 // positions 3,6,7
+	p3 := d2 != d3 != d4 // positions 5,6,7
+	return [7]bool{p1, p2, d1, p3, d2, d3, d4}
+}
+
+// decodeNibble corrects up to one flipped bit and returns the data nibble
+// and whether a correction was applied.
+func decodeNibble(c [7]bool) (byte, bool) {
+	s1 := c[0] != c[2] != c[4] != c[6]
+	s2 := c[1] != c[2] != c[5] != c[6]
+	s3 := c[3] != c[4] != c[5] != c[6]
+	syndrome := 0
+	if s1 {
+		syndrome |= 1
+	}
+	if s2 {
+		syndrome |= 2
+	}
+	if s3 {
+		syndrome |= 4
+	}
+	corrected := false
+	if syndrome != 0 {
+		c[syndrome-1] = !c[syndrome-1]
+		corrected = true
+	}
+	var n byte
+	if c[2] {
+		n |= 8
+	}
+	if c[4] {
+		n |= 4
+	}
+	if c[5] {
+		n |= 2
+	}
+	if c[6] {
+		n |= 1
+	}
+	return n, corrected
+}
+
+// EncodeBits expands data into a Hamming(7,4)-coded bit stream (two
+// codewords per byte, high nibble first).
+func EncodeBits(data []byte) []bool {
+	out := make([]bool, 0, len(data)*14)
+	for _, b := range data {
+		for _, nib := range [2]byte{b >> 4, b & 0xF} {
+			cw := encodeNibble(nib)
+			out = append(out, cw[:]...)
+		}
+	}
+	return out
+}
+
+// DecodeBits reverses EncodeBits, correcting single-bit errors per
+// codeword. It returns the data and the number of corrections applied.
+// Trailing bits that do not fill a codeword are ignored.
+func DecodeBits(bits []bool) (data []byte, corrections int) {
+	nCW := len(bits) / 7
+	nibbles := make([]byte, 0, nCW)
+	for i := 0; i < nCW; i++ {
+		var cw [7]bool
+		copy(cw[:], bits[i*7:(i+1)*7])
+		n, fixed := decodeNibble(cw)
+		if fixed {
+			corrections++
+		}
+		nibbles = append(nibbles, n)
+	}
+	for i := 0; i+1 < len(nibbles); i += 2 {
+		data = append(data, nibbles[i]<<4|nibbles[i+1])
+	}
+	return data, corrections
+}
+
+// Interleave writes bits column-major into a depth×width block so a burst
+// of up to `depth` adjacent channel errors lands in distinct codewords.
+// The input is padded with false to a multiple of depth.
+func Interleave(bits []bool, depth int) []bool {
+	if depth <= 1 {
+		return append([]bool(nil), bits...)
+	}
+	width := (len(bits) + depth - 1) / depth
+	out := make([]bool, depth*width)
+	for i, b := range bits {
+		row := i / width
+		col := i % width
+		out[col*depth+row] = b
+	}
+	return out
+}
+
+// Deinterleave reverses Interleave for the given original length.
+func Deinterleave(bits []bool, depth, origLen int) []bool {
+	if depth <= 1 {
+		out := append([]bool(nil), bits...)
+		if len(out) > origLen {
+			out = out[:origLen]
+		}
+		return out
+	}
+	width := (origLen + depth - 1) / depth
+	out := make([]bool, origLen)
+	for i := range out {
+		row := i / width
+		col := i % width
+		idx := col*depth + row
+		if idx < len(bits) {
+			out[i] = bits[idx]
+		}
+	}
+	return out
+}
+
+// PackSymbols folds a bit stream into 5-bit covert symbols (padding the
+// tail with zeros).
+func PackSymbols(bits []bool) []uint8 {
+	var out []uint8
+	for i := 0; i < len(bits); i += 5 {
+		var s uint8
+		for k := 0; k < 5; k++ {
+			s <<= 1
+			if i+k < len(bits) && bits[i+k] {
+				s |= 1
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// UnpackSymbols expands 5-bit symbols back into a bit stream.
+func UnpackSymbols(syms []uint8) []bool {
+	out := make([]bool, 0, len(syms)*5)
+	for _, s := range syms {
+		for k := 4; k >= 0; k-- {
+			out = append(out, s>>uint(k)&1 == 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripClean(t *testing.T) {
+	f := func(data []byte) bool {
+		got, corr := DecodeBits(EncodeBits(data))
+		return bytes.Equal(got, data) && corr == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEverySingleBitErrorCorrected(t *testing.T) {
+	data := []byte{0xA5, 0x3C, 0x00, 0xFF}
+	clean := EncodeBits(data)
+	for i := range clean {
+		bits := append([]bool(nil), clean...)
+		bits[i] = !bits[i]
+		got, corr := DecodeBits(bits)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("flip at %d not corrected", i)
+		}
+		if corr != 1 {
+			t.Fatalf("flip at %d: corrections = %d", i, corr)
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(data []byte, depthRaw uint8) bool {
+		depth := int(depthRaw)%48 + 1
+		bits := EncodeBits(data)
+		back := Deinterleave(Interleave(bits, depth), depth, len(bits))
+		if len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBurstErrorSurvivesInterleaving is the design property: a 5-bit burst
+// (one lost covert symbol) lands in 5 distinct codewords after
+// deinterleaving, so Hamming fixes all of it.
+func TestBurstErrorSurvivesInterleaving(t *testing.T) {
+	data := make([]byte, 40)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	const depth = 35 // ≥ 5·7: a symbol burst maps to one bit per codeword
+	bits := EncodeBits(data)
+	tx := Interleave(bits, depth)
+	// Corrupt one aligned 5-bit burst (a wrongly decoded covert symbol).
+	start := 70
+	for k := 0; k < 5; k++ {
+		tx[start+k] = !tx[start+k]
+	}
+	rx := Deinterleave(tx, depth, len(bits))
+	got, corr := DecodeBits(rx)
+	if !bytes.Equal(got, data) {
+		t.Fatal("burst not corrected")
+	}
+	if corr != 5 {
+		t.Fatalf("corrections = %d, want 5", corr)
+	}
+}
+
+func TestPackUnpackSymbols(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := EncodeBits(data)
+		syms := PackSymbols(bits)
+		for _, s := range syms {
+			if s >= 32 {
+				return false
+			}
+		}
+		back := UnpackSymbols(syms)
+		if len(back) < len(bits) {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthOnePassthrough(t *testing.T) {
+	bits := EncodeBits([]byte{0x42})
+	if got := Deinterleave(Interleave(bits, 1), 1, len(bits)); len(got) != len(bits) {
+		t.Fatal("depth-1 changed length")
+	}
+}

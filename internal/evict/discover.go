@@ -1,0 +1,118 @@
+package evict
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// This file implements eviction-set *discovery* from timing alone — no
+// /proc/pid/pagemap, no slice-hash knowledge. It is the group-testing
+// reduction of Vila, Köpf and Morales (S&P'19), which the paper cites as
+// the substrate for Prime+Probe when physical addresses are unavailable:
+// starting from a candidate pool known to evict the target, repeatedly
+// split into associativity+1 groups and drop any group whose removal keeps
+// the remainder evicting. The result is a minimal eviction set.
+
+// Discoverer finds eviction sets by timing.
+type Discoverer struct {
+	env *sim.Env
+	// Pool is the candidate buffer (locked pages).
+	pool *mem.Mapping
+	// probeIP/testIP keep the discoverer's loads on reserved low-8 values.
+	probeIP uint64
+	// Tests counts evicts-target trials (the algorithm's cost metric).
+	Tests int
+}
+
+// NewDiscoverer allocates a candidate pool of poolPages locked pages.
+func NewDiscoverer(env *sim.Env, poolPages int, probeIP uint64) *Discoverer {
+	return &Discoverer{
+		env:     env,
+		pool:    env.Mmap(uint64(poolPages)*mem.PageSize, mem.MapLocked),
+		probeIP: probeIP,
+	}
+}
+
+// candidates returns all pool lines that are page-offset congruent with the
+// target (same set-index bits below the page boundary), the standard
+// starting pool: only those can share the target's cache set.
+func (d *Discoverer) candidates(target mem.VAddr) []mem.VAddr {
+	off := uint64(target) & (mem.PageSize - 1) &^ (mem.LineSize - 1)
+	var out []mem.VAddr
+	for page := uint64(0); page < d.pool.Length/mem.PageSize; page++ {
+		out = append(out, d.pool.Base+mem.VAddr(page*mem.PageSize+off))
+	}
+	return out
+}
+
+// evicts reports whether accessing every line of set evicts the target:
+// load target, sweep the set, time the target again.
+func (d *Discoverer) evicts(set []mem.VAddr, target mem.VAddr) bool {
+	d.Tests++
+	env := d.env
+	env.WarmTLB(target)
+	env.Load(d.probeIP, target)
+	// Sweep in zigzag so the discoverer's own loads cannot train the
+	// IP-stride entry they run under (see evict.Set.Prime).
+	order := zigzag(len(set))
+	for pass := 0; pass < 2; pass++ {
+		for _, i := range order {
+			env.WarmTLB(set[i])
+			env.Load(d.probeIP+1, set[i])
+		}
+	}
+	env.Fence()
+	lat := env.TimeLoad(d.probeIP+2, target)
+	return lat >= env.HitThreshold()
+}
+
+// Discover reduces the congruent candidate pool to a minimal eviction set
+// for target. ways is the LLC associativity the attacker assumes (16 on the
+// modelled parts). It fails when the pool is too small to evict the target
+// at all.
+func (d *Discoverer) Discover(target mem.VAddr, ways int) (*Set, error) {
+	cand := d.candidates(target)
+	if !d.evicts(cand, target) {
+		return nil, fmt.Errorf("evict: candidate pool (%d lines) does not evict the target; enlarge it", len(cand))
+	}
+	// Group-testing reduction: while |cand| > ways, split into ways+1
+	// groups; at least one group can be removed while preserving eviction
+	// (pigeonhole: the ≤ways congruent lines cannot occupy all ways+1
+	// groups).
+	for len(cand) > ways {
+		// Split into exactly ways+1 nearly-equal groups. The pigeonhole
+		// argument needs all ways+1 of them: any `ways` congruent lines
+		// cover at most `ways` groups, so one group is always removable.
+		groups := ways + 1
+		removed := false
+		for g := 0; g < groups && len(cand) > ways; g++ {
+			lo := g * len(cand) / groups
+			hi := (g + 1) * len(cand) / groups
+			if hi <= lo {
+				continue
+			}
+			rest := make([]mem.VAddr, 0, len(cand)-(hi-lo))
+			rest = append(rest, cand[:lo]...)
+			rest = append(rest, cand[hi:]...)
+			if d.evicts(rest, target) {
+				cand = rest
+				removed = true
+				break // re-split the smaller set
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("evict: reduction stuck at %d lines (noise?)", len(cand))
+		}
+	}
+	// Classify the discovered set for reporting using the attacker's own
+	// address space (purely informational; discovery never used it).
+	llc := d.env.Machine().Mem.LLC
+	pa, _ := d.env.Process().AS.Translate(cand[0])
+	return &Set{
+		Slice: llc.SliceOf(pa),
+		Index: llc.SetOf(pa),
+		Lines: cand,
+	}, nil
+}

@@ -1,0 +1,56 @@
+package evict
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// discoverPoolPages: a target's congruent lines occur once per 24 pages per
+// slice on Haswell (1536-sets folding × 4 slices = 96 pages per congruent
+// line); 16 ways need ≥ 16·96 lines plus slack.
+const discoverPoolPages = 3072
+
+func TestDiscoverFindsMinimalEvictionSet(t *testing.T) {
+	m := sim.NewMachine(sim.Quiet(sim.Haswell(8)))
+	env := m.Direct(m.NewProcess("a"))
+	target := env.Mmap(mem.PageSize, mem.MapLocked).Base + 5*mem.LineSize
+	d := NewDiscoverer(env, discoverPoolPages, 0x30_10e0)
+	es, err := d.Discover(target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Lines) != 16 {
+		t.Fatalf("MES has %d lines", len(es.Lines))
+	}
+	// Every discovered line must be congruent with the target.
+	llc := m.Mem.LLC
+	tpa, _ := env.Process().AS.Translate(target)
+	for _, v := range es.Lines {
+		pa, _ := env.Process().AS.Translate(v)
+		if llc.SliceOf(pa) != llc.SliceOf(tpa) || llc.SetOf(pa) != llc.SetOf(tpa) {
+			t.Fatalf("discovered line %#x not congruent with target", uint64(v))
+		}
+	}
+	// And it must actually evict the target.
+	env.Load(0x99, target)
+	for _, v := range es.Lines {
+		env.Load(0x98, v)
+		env.Load(0x97, v)
+	}
+	if env.Cached(target) {
+		t.Fatal("discovered MES does not evict the target")
+	}
+	t.Logf("discovery used %d evicts-target trials", d.Tests)
+}
+
+func TestDiscoverFailsOnTinyPool(t *testing.T) {
+	m := sim.NewMachine(sim.Quiet(sim.Haswell(9)))
+	env := m.Direct(m.NewProcess("a"))
+	target := env.Mmap(mem.PageSize, mem.MapLocked).Base
+	d := NewDiscoverer(env, 32, 0x30_10e0)
+	if _, err := d.Discover(target, 16); err == nil {
+		t.Fatal("tiny pool discovered a MES")
+	}
+}

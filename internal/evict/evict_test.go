@@ -1,0 +1,147 @@
+package evict
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// haswellQuiet keeps eviction-set pools small (4 slices, 8 MB LLC).
+func haswellQuiet(seed int64) *sim.Machine {
+	return sim.NewMachine(sim.Quiet(sim.Haswell(seed)))
+}
+
+const poolPages = 4096
+
+func TestBuilderRejectsEmptyPool(t *testing.T) {
+	m := haswellQuiet(1)
+	env := m.Direct(m.NewProcess("a"))
+	if _, err := NewBuilder(env, 0, 1, 2); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+}
+
+func TestEvictionSetCongruence(t *testing.T) {
+	m := haswellQuiet(2)
+	env := m.Direct(m.NewProcess("a"))
+	b, err := NewBuilder(env, poolPages, 0x10e0, 0x20e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := env.Mmap(mem.PageSize, mem.MapLocked)
+	pa, _ := env.Process().AS.Translate(victim.Base)
+	es, err := b.ForAddress(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := m.Mem.LLC
+	if len(es.Lines) != llc.Config().Ways {
+		t.Fatalf("MES has %d lines, want associativity %d", len(es.Lines), llc.Config().Ways)
+	}
+	for _, v := range es.Lines {
+		lpa, ok := env.Process().AS.Translate(v)
+		if !ok {
+			t.Fatal("MES line unmapped")
+		}
+		if llc.SliceOf(lpa) != es.Slice || llc.SetOf(lpa) != es.Index {
+			t.Fatalf("line %#x not congruent with target", uint64(v))
+		}
+	}
+	if es.Slice != llc.SliceOf(pa) || es.Index != llc.SetOf(pa) {
+		t.Fatal("MES built for the wrong set")
+	}
+}
+
+func TestPrimeEvictsVictimLine(t *testing.T) {
+	m := haswellQuiet(3)
+	env := m.Direct(m.NewProcess("a"))
+	b, err := NewBuilder(env, poolPages, 0x10e0, 0x20e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := env.Mmap(mem.PageSize, mem.MapLocked)
+	env.WarmTLB(victim.Base)
+	env.Load(0x99, victim.Base) // victim line cached
+	pa, _ := env.Process().AS.Translate(victim.Base)
+	es, err := b.ForAddress(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range es.Lines {
+		env.WarmTLB(line)
+	}
+	es.Prime(env)
+	if env.Cached(victim.Base) {
+		t.Fatal("victim line survived a full prime (inclusivity should evict it)")
+	}
+}
+
+func TestProbeDetectsVictimAccess(t *testing.T) {
+	m := haswellQuiet(4)
+	env := m.Direct(m.NewProcess("a"))
+	b, err := NewBuilder(env, poolPages, 0x10e0, 0x20e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := env.Mmap(mem.PageSize, mem.MapLocked)
+	env.WarmTLB(victim.Base)
+	pa, _ := env.Process().AS.Translate(victim.Base)
+	es, err := b.ForAddress(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range es.Lines {
+		env.WarmTLB(line)
+	}
+	es.Prime(env)
+	quiescent := es.Probe(env)
+	es.Prime(env)
+	env.Load(0x99, victim.Base) // victim touches the monitored set
+	disturbed := es.Probe(env)
+	if disturbed <= quiescent+100 {
+		t.Fatalf("probe did not see the victim: quiet=%d disturbed=%d", quiescent, disturbed)
+	}
+}
+
+func TestForVictimPageCoversAllLines(t *testing.T) {
+	m := haswellQuiet(5)
+	env := m.Direct(m.NewProcess("a"))
+	b, err := NewBuilder(env, poolPages, 0x10e0, 0x20e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := env.Mmap(mem.PageSize, mem.MapLocked)
+	pa, _ := env.Process().AS.Translate(victim.Base)
+	sets, err := b.ForVictimPage(pa)
+	if err != nil {
+		t.Fatalf("pool too small for full-page coverage: %v", err)
+	}
+	if len(sets) != 64 {
+		t.Fatalf("covered %d lines", len(sets))
+	}
+	llc := m.Mem.LLC
+	for i, es := range sets {
+		linePA := mem.PAddr(pa.Frame()<<mem.PageShift + uint64(i*mem.LineSize))
+		if es.Slice != llc.SliceOf(linePA) || es.Index != llc.SetOf(linePA) {
+			t.Fatalf("line %d monitored by wrong set", i)
+		}
+	}
+	if b.PoolPages() != poolPages {
+		t.Fatalf("PoolPages = %d", b.PoolPages())
+	}
+}
+
+func TestTooSmallPoolErrors(t *testing.T) {
+	m := haswellQuiet(6)
+	env := m.Direct(m.NewProcess("a"))
+	b, err := NewBuilder(env, 8, 0x10e0, 0x20e0) // far too small for 16 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := env.Mmap(mem.PageSize, mem.MapLocked)
+	pa, _ := env.Process().AS.Translate(victim.Base)
+	if _, err := b.ForAddress(pa); err == nil {
+		t.Fatal("undersized pool built a MES")
+	}
+}

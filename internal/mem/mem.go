@@ -1,0 +1,241 @@
+// Package mem models the memory-management substrate of the AfterImage
+// simulator: a physical frame allocator, per-address-space page tables,
+// mmap-style mappings with the two pool behaviours exploited by the paper's
+// page-boundary experiment (Table 1) — a reclaimable pool whose virtual pages
+// alias a shared physical frame, and a MAP_LOCKED pool with pinned unique
+// frames — shared mappings for Flush+Reload, and user-space ASLR with page
+// granularity (so the low 12 address bits survive, as §5.2 relies on).
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PageSize is the (only) supported page size, 4 KiB.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// PageNumber returns the virtual page number of a.
+func (a VAddr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+// PageOffset returns the offset of a within its page.
+func (a VAddr) PageOffset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Line returns the cache line index of the physical address.
+func (a PAddr) Line() uint64 { return uint64(a) >> LineShift }
+
+// Frame returns the physical frame number of a.
+func (a PAddr) Frame() uint64 { return uint64(a) >> PageShift }
+
+// MapKind selects the pool behaviour of a mapping.
+type MapKind int
+
+const (
+	// MapReclaimable models the paper's resource-saving pool: the OS is free
+	// to reclaim untouched frames, so every page of the region aliases one
+	// shared physical frame ("many pages have the same physical address",
+	// artifact appendix A.4).
+	MapReclaimable MapKind = iota
+	// MapLocked models mmap(MAP_LOCKED): each virtual page owns a distinct
+	// pinned physical frame.
+	MapLocked
+	// MapShared maps the same physical frames into several address spaces
+	// (mmap MAP_SHARED), the substrate for Flush+Reload.
+	MapShared
+)
+
+// String names the mapping kind.
+func (k MapKind) String() string {
+	switch k {
+	case MapReclaimable:
+		return "reclaimable"
+	case MapLocked:
+		return "locked"
+	case MapShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("MapKind(%d)", int(k))
+	}
+}
+
+// PhysMemory hands out physical frames.
+type PhysMemory struct {
+	nextFrame uint64
+	frames    uint64 // capacity in frames
+}
+
+// NewPhysMemory builds a physical memory with the given capacity in bytes.
+func NewPhysMemory(bytes uint64) *PhysMemory {
+	return &PhysMemory{nextFrame: 1, frames: bytes / PageSize} // frame 0 reserved
+}
+
+// AllocFrame returns a fresh physical frame number.
+func (p *PhysMemory) AllocFrame() (uint64, error) {
+	if p.nextFrame >= p.frames {
+		return 0, fmt.Errorf("mem: out of physical frames (capacity %d)", p.frames)
+	}
+	f := p.nextFrame
+	p.nextFrame++
+	return f, nil
+}
+
+// FramesUsed reports how many frames have been allocated.
+func (p *PhysMemory) FramesUsed() uint64 { return p.nextFrame - 1 }
+
+// Mapping describes one mmap-ed region inside an address space.
+type Mapping struct {
+	Base   VAddr
+	Length uint64
+	Kind   MapKind
+	frames []uint64 // physical frame per page
+}
+
+// End returns the first address past the mapping.
+func (m *Mapping) End() VAddr { return m.Base + VAddr(m.Length) }
+
+// Frames exposes the physical frame of each page (for tests and shared maps).
+func (m *Mapping) Frames() []uint64 { return m.frames }
+
+// AddressSpace is one process's (or the kernel's) virtual address space.
+type AddressSpace struct {
+	// ID is a unique address-space identifier (the PCID/ASID used to tag
+	// TLB entries, so translations survive context switches).
+	ID       uint64
+	Name     string
+	phys     *PhysMemory
+	pages    map[uint64]uint64 // VPN -> PFN
+	mappings []*Mapping
+	nextBase VAddr
+	aslr     *rand.Rand // nil disables ASLR
+}
+
+var nextASID uint64
+
+// NewAddressSpace creates an address space backed by phys. When aslrSeed is
+// non-zero, mmap bases are randomised at page granularity (Level-2 ASLR);
+// a zero seed disables randomisation for reproducible layouts.
+func NewAddressSpace(name string, phys *PhysMemory, aslrSeed int64) *AddressSpace {
+	nextASID++
+	as := &AddressSpace{
+		ID:       nextASID,
+		Name:     name,
+		phys:     phys,
+		pages:    make(map[uint64]uint64),
+		nextBase: VAddr(0x5555_0000_0000),
+	}
+	if aslrSeed != 0 {
+		as.aslr = rand.New(rand.NewSource(aslrSeed))
+	}
+	return as
+}
+
+// pickBase chooses the base address for a fresh mapping of n pages.
+func (as *AddressSpace) pickBase(pages uint64) VAddr {
+	base := as.nextBase
+	if as.aslr != nil {
+		// Randomise bits 12..33: page-aligned, so the low 12 bits of every
+		// address inside the mapping are unaffected by ASLR.
+		slide := VAddr(as.aslr.Int63n(1<<22)) << PageShift
+		base += slide
+	}
+	as.nextBase = base + VAddr((pages+16)*PageSize) // guard gap
+	return base
+}
+
+// Mmap creates a new mapping of length bytes (rounded up to whole pages)
+// with the requested pool behaviour.
+func (as *AddressSpace) Mmap(length uint64, kind MapKind) (*Mapping, error) {
+	if length == 0 {
+		return nil, fmt.Errorf("mem: zero-length mmap")
+	}
+	pages := (length + PageSize - 1) / PageSize
+	m := &Mapping{
+		Base:   as.pickBase(pages),
+		Length: pages * PageSize,
+		Kind:   kind,
+		frames: make([]uint64, pages),
+	}
+	switch kind {
+	case MapReclaimable:
+		// All pages alias one shared frame.
+		f, err := as.phys.AllocFrame()
+		if err != nil {
+			return nil, err
+		}
+		for i := range m.frames {
+			m.frames[i] = f
+		}
+	case MapLocked, MapShared:
+		for i := range m.frames {
+			f, err := as.phys.AllocFrame()
+			if err != nil {
+				return nil, err
+			}
+			m.frames[i] = f
+		}
+	default:
+		return nil, fmt.Errorf("mem: unknown map kind %v", kind)
+	}
+	as.install(m)
+	return m, nil
+}
+
+// MapExisting installs an existing mapping's physical frames at a fresh base
+// in this address space — the receiving side of mmap(MAP_SHARED).
+func (as *AddressSpace) MapExisting(src *Mapping) *Mapping {
+	pages := uint64(len(src.frames))
+	m := &Mapping{
+		Base:   as.pickBase(pages),
+		Length: pages * PageSize,
+		Kind:   MapShared,
+		frames: append([]uint64(nil), src.frames...),
+	}
+	as.install(m)
+	return m
+}
+
+func (as *AddressSpace) install(m *Mapping) {
+	vpn := m.Base.PageNumber()
+	for i, f := range m.frames {
+		as.pages[vpn+uint64(i)] = f
+	}
+	as.mappings = append(as.mappings, m)
+}
+
+// Translate resolves a virtual address to a physical one. The boolean is
+// false when the address is unmapped.
+func (as *AddressSpace) Translate(v VAddr) (PAddr, bool) {
+	pfn, ok := as.pages[v.PageNumber()]
+	if !ok {
+		return 0, false
+	}
+	return PAddr(pfn<<PageShift | v.PageOffset()), true
+}
+
+// Mappings exposes the installed mappings in creation order.
+func (as *AddressSpace) Mappings() []*Mapping { return as.mappings }
+
+// MustMmap is Mmap that panics on failure — for tests and examples where
+// physical memory exhaustion is a programming error.
+func (as *AddressSpace) MustMmap(length uint64, kind MapKind) *Mapping {
+	m, err := as.Mmap(length, kind)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

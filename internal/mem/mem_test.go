@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	v := VAddr(0x12345)
+	if v.PageNumber() != 0x12 {
+		t.Fatalf("PageNumber = %#x", v.PageNumber())
+	}
+	if v.PageOffset() != 0x345 {
+		t.Fatalf("PageOffset = %#x", v.PageOffset())
+	}
+	p := PAddr(0x12345)
+	if p.Line() != 0x12345>>6 {
+		t.Fatalf("Line = %#x", p.Line())
+	}
+	if p.Frame() != 0x12 {
+		t.Fatalf("Frame = %#x", p.Frame())
+	}
+}
+
+func TestMmapLockedUniqueFrames(t *testing.T) {
+	phys := NewPhysMemory(1 << 24)
+	as := NewAddressSpace("p", phys, 0)
+	m, err := as.Mmap(8*PageSize, MapLocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, f := range m.Frames() {
+		if seen[f] {
+			t.Fatalf("frame %d repeated in locked mapping", f)
+		}
+		seen[f] = true
+	}
+	// Locked frames are physically sequential (so the next-page assist of
+	// §4.3 applies across the mapping).
+	fr := m.Frames()
+	for i := 1; i < len(fr); i++ {
+		if fr[i] != fr[i-1]+1 {
+			t.Fatalf("locked frames not sequential: %v", fr)
+		}
+	}
+}
+
+func TestMmapReclaimableAliasesOneFrame(t *testing.T) {
+	phys := NewPhysMemory(1 << 24)
+	as := NewAddressSpace("p", phys, 0)
+	m, err := as.Mmap(8*PageSize, MapReclaimable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := m.Frames()[0]
+	for _, f := range m.Frames() {
+		if f != f0 {
+			t.Fatalf("reclaimable mapping has distinct frames: %v", m.Frames())
+		}
+	}
+	// Translation of different pages lands in the same frame.
+	p1, _ := as.Translate(m.Base + 10)
+	p2, _ := as.Translate(m.Base + 3*PageSize + 10)
+	if p1 != p2 {
+		t.Fatalf("aliased pages translate differently: %#x vs %#x", uint64(p1), uint64(p2))
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	phys := NewPhysMemory(1 << 24)
+	as := NewAddressSpace("p", phys, 0)
+	if _, ok := as.Translate(0xdead000); ok {
+		t.Fatal("unmapped address translated")
+	}
+}
+
+func TestSharedMappingAcrossSpaces(t *testing.T) {
+	phys := NewPhysMemory(1 << 24)
+	a := NewAddressSpace("a", phys, 0)
+	b := NewAddressSpace("b", phys, 0)
+	ma, err := a.Mmap(2*PageSize, MapShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := b.MapExisting(ma)
+	pa, _ := a.Translate(ma.Base + 100)
+	pb, _ := b.Translate(mb.Base + 100)
+	if pa != pb {
+		t.Fatalf("shared mapping diverges: %#x vs %#x", uint64(pa), uint64(pb))
+	}
+}
+
+func TestASLRPreservesLow12Bits(t *testing.T) {
+	phys := NewPhysMemory(1 << 26)
+	a1 := NewAddressSpace("a1", phys, 11)
+	a2 := NewAddressSpace("a2", phys, 2222)
+	m1 := a1.MustMmap(PageSize, MapLocked)
+	m2 := a2.MustMmap(PageSize, MapLocked)
+	if m1.Base.PageOffset() != 0 || m2.Base.PageOffset() != 0 {
+		t.Fatal("mmap base not page aligned under ASLR")
+	}
+	if m1.Base == m2.Base {
+		t.Fatal("distinct ASLR seeds produced identical layout")
+	}
+	// Same seed reproduces the layout (determinism).
+	a3 := NewAddressSpace("a3", phys, 11)
+	m3 := a3.MustMmap(PageSize, MapLocked)
+	if m3.Base != m1.Base {
+		t.Fatal("ASLR layout not reproducible for equal seeds")
+	}
+}
+
+func TestOutOfPhysicalMemory(t *testing.T) {
+	phys := NewPhysMemory(4 * PageSize)
+	as := NewAddressSpace("p", phys, 0)
+	if _, err := as.Mmap(64*PageSize, MapLocked); err == nil {
+		t.Fatal("exhausted physical memory did not error")
+	}
+}
+
+func TestMmapZeroLength(t *testing.T) {
+	phys := NewPhysMemory(1 << 20)
+	as := NewAddressSpace("p", phys, 0)
+	if _, err := as.Mmap(0, MapLocked); err == nil {
+		t.Fatal("zero-length mmap accepted")
+	}
+}
+
+func TestMapKindString(t *testing.T) {
+	for _, k := range []MapKind{MapReclaimable, MapLocked, MapShared} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+// TestTranslationQuick property-tests that every address inside a mapping
+// translates, preserves its page offset, and distinct locked pages never
+// collide physically.
+func TestTranslationQuick(t *testing.T) {
+	phys := NewPhysMemory(1 << 28)
+	as := NewAddressSpace("p", phys, 77)
+	m := as.MustMmap(64*PageSize, MapLocked)
+	f := func(off uint32) bool {
+		v := m.Base + VAddr(uint64(off)%m.Length)
+		p, ok := as.Translate(v)
+		if !ok {
+			return false
+		}
+		return uint64(p)&(PageSize-1) == v.PageOffset()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingEnd(t *testing.T) {
+	phys := NewPhysMemory(1 << 20)
+	as := NewAddressSpace("p", phys, 0)
+	m := as.MustMmap(3*PageSize-5, MapLocked) // rounds up to 3 pages
+	if m.Length != 3*PageSize {
+		t.Fatalf("length = %d, want rounded %d", m.Length, 3*PageSize)
+	}
+	if m.End() != m.Base+VAddr(3*PageSize) {
+		t.Fatal("End mismatch")
+	}
+}

@@ -1,0 +1,122 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"afterimage/internal/stats"
+)
+
+func TestSBoxIsPermutation(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, v := range SBox {
+		if seen[v] {
+			t.Fatal("S-box repeats a value")
+		}
+		seen[v] = true
+	}
+	if SBox[0x00] != 0x63 || SBox[0x53] != 0xed {
+		t.Fatal("S-box known values wrong")
+	}
+}
+
+func TestHammingWeight(t *testing.T) {
+	cases := map[byte]int{0x00: 0, 0xFF: 8, 0x0F: 4, 0x80: 1, 0xA5: 4}
+	for in, want := range cases {
+		if got := HammingWeight(in); got != want {
+			t.Fatalf("HW(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	tr := g.Generate(0x42)
+	if len(tr.Samples) != DefaultConfig().Samples {
+		t.Fatal("wrong trace length")
+	}
+	if tr.TrueOffset < 0 || tr.TrueOffset > DefaultConfig().JitterSpan {
+		t.Fatalf("true offset %d out of jitter range", tr.TrueOffset)
+	}
+}
+
+func TestTracesDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(DefaultConfig()).Generate(7)
+	b := NewGenerator(DefaultConfig()).Generate(7)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("traces differ for equal seeds")
+		}
+	}
+}
+
+// TestFig16Separation is the headline property: the aligned t-test crosses
+// the ±4.5 TVLA threshold decisively while the random-timing one stays
+// within it (Figure 16a vs 16b).
+func TestFig16Separation(t *testing.T) {
+	cfg := DefaultCurveConfig()
+	_, aligned := Curve(cfg, true)
+	_, random := Curve(cfg, false)
+	finalAligned := math.Abs(aligned[len(aligned)-1])
+	finalRandom := math.Abs(random[len(random)-1])
+	if finalAligned < 2*stats.TTestThreshold {
+		t.Fatalf("aligned |t| = %.1f, want decisively past %.1f", finalAligned, stats.TTestThreshold)
+	}
+	if finalRandom > stats.TTestThreshold {
+		t.Fatalf("random-timing |t| = %.1f crossed the threshold", finalRandom)
+	}
+}
+
+func TestCurveMonotoneGrowth(t *testing.T) {
+	cfg := DefaultCurveConfig()
+	counts, ts := Curve(cfg, true)
+	if len(counts) != cfg.Traces/cfg.Every {
+		t.Fatalf("curve has %d points", len(counts))
+	}
+	// |t| grows roughly with sqrt(n): the last point must beat the first.
+	if math.Abs(ts[len(ts)-1]) <= math.Abs(ts[0]) {
+		t.Fatalf("|t| did not grow: first %.2f last %.2f", ts[0], ts[len(ts)-1])
+	}
+}
+
+func TestTTestPointIgnoresOutOfRangeSamples(t *testing.T) {
+	var p TTestPoint
+	tr := Trace{Samples: []float64{1, 2, 3}}
+	p.Add(tr, true, -1)
+	p.Add(tr, false, 99)
+	if p.T() != 0 {
+		t.Fatal("out-of-range samples contributed")
+	}
+}
+
+// TestCPARecoversKeyWithAlignedTiming is the exploitation counterpart of
+// Figure 16: with AfterImage-provided timing, CPA recovers the key byte;
+// with random timing it does not.
+func TestCPARecoversKeyWithAlignedTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	aligned := RunCPA(cfg, 3000, true)
+	if !aligned.Success() {
+		t.Fatalf("aligned CPA recovered %#x, want %#x (peak %.3f)",
+			aligned.RecoveredKey, aligned.TrueKey, aligned.PeakCorrelation)
+	}
+	if aligned.PeakCorrelation <= aligned.RunnerUpCorrelation*1.2 {
+		t.Fatalf("aligned CPA peak %.3f barely beats runner-up %.3f",
+			aligned.PeakCorrelation, aligned.RunnerUpCorrelation)
+	}
+	random := RunCPA(cfg, 3000, false)
+	if random.Success() && random.PeakCorrelation > 2*random.RunnerUpCorrelation {
+		t.Fatal("random-timing CPA confidently recovered the key — alignment should matter")
+	}
+	if random.PeakCorrelation > aligned.PeakCorrelation {
+		t.Fatalf("random peak %.3f above aligned %.3f", random.PeakCorrelation, aligned.PeakCorrelation)
+	}
+}
+
+func TestCPADeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := RunCPA(cfg, 500, true)
+	b := RunCPA(cfg, 500, true)
+	if a != b {
+		t.Fatal("CPA not deterministic per seed")
+	}
+}

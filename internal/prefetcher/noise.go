@@ -1,0 +1,221 @@
+package prefetcher
+
+import (
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+)
+
+// DCU is the data-cache-unit next-line prefetcher (§3.2): when it detects an
+// ascending streaming access (two loads touching consecutive cache lines in
+// a page), it prefetches the single next line. The artifact's Fisher–Yates
+// shuffled reload defeats exactly this trigger condition.
+type DCU struct {
+	Enabled  bool
+	lastLine uint64
+	seen     bool
+	stats    uint64
+}
+
+// OnLoad observes one demand load and returns at most one next-line request.
+func (d *DCU) OnLoad(a Access) []Request {
+	if !d.Enabled {
+		return nil
+	}
+	line := a.PA.Line()
+	trigger := d.seen && line == d.lastLine+1
+	d.lastLine, d.seen = line, true
+	if !trigger {
+		return nil
+	}
+	target := mem.PAddr((line + 1) * mem.LineSize)
+	if !samePage(a.PA, target) {
+		return nil
+	}
+	d.stats++
+	return []Request{{Target: target, Source: "dcu"}}
+}
+
+// Issued reports how many prefetches the DCU has emitted.
+func (d *DCU) Issued() uint64 { return d.stats }
+
+// Reset clears the stream-detection state (a serialising fence stops the
+// detector, per the Intel manual note quoted in appendix A.6).
+func (d *DCU) Reset() { d.seen = false }
+
+// DPL is the data-prefetch-logic "adjacent line" prefetcher (§3.2): memory is
+// viewed as 128-byte aligned pairs of lines; a demand miss fetches the pair
+// line, but — like the hardware, which throttles on non-streaming patterns —
+// only when the previous miss landed in the same or an adjacent 128-byte
+// block. An isolated random miss (a shuffled, fenced reload) never triggers
+// it.
+type DPL struct {
+	Enabled  bool
+	lastMiss uint64
+	seen     bool
+	stats    uint64
+}
+
+// OnLoad emits the pair line on a streaming demand miss (any level beyond L1).
+func (d *DPL) OnLoad(a Access) []Request {
+	if !d.Enabled || a.Level == cache.LevelL1 {
+		return nil
+	}
+	line := a.PA.Line()
+	block := line >> 1
+	trigger := d.seen && diffAbs(block, d.lastMiss) <= 1
+	d.lastMiss, d.seen = block, true
+	if !trigger {
+		return nil
+	}
+	pair := line ^ 1 // buddy within the 128-byte block
+	target := mem.PAddr(pair * mem.LineSize)
+	if !samePage(a.PA, target) {
+		return nil
+	}
+	d.stats++
+	return []Request{{Target: target, Source: "dpl"}}
+}
+
+// Reset clears the miss-stream state.
+func (d *DPL) Reset() { d.seen = false }
+
+func diffAbs(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Issued reports how many prefetches the DPL has emitted.
+func (d *DPL) Issued() uint64 { return d.stats }
+
+// Streamer tracks per-page access streams and prefetches a few lines ahead
+// in the detected direction (§3.2). It keeps a small table of recently
+// touched pages with the last line and a direction estimate.
+type Streamer struct {
+	Enabled bool
+	Degree  int // lines prefetched per trigger (2 is a reasonable default)
+	table   []streamEntry
+	stats   uint64
+}
+
+type streamEntry struct {
+	frame    uint64
+	lastLine uint64
+	dir      int // +1 ascending, -1 descending, 0 unknown
+	valid    bool
+}
+
+const streamerEntries = 16
+
+// NewStreamer builds a streamer with the given prefetch degree.
+func NewStreamer(degree int) *Streamer {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &Streamer{Degree: degree, table: make([]streamEntry, streamerEntries)}
+}
+
+// OnLoad observes one load; consecutive same-direction accesses within a
+// page trigger Degree prefetches ahead.
+func (s *Streamer) OnLoad(a Access) []Request {
+	if !s.Enabled {
+		return nil
+	}
+	frame := a.PA.Frame()
+	line := a.PA.Line()
+	e := s.entryFor(frame)
+	if !e.valid || e.frame != frame {
+		*e = streamEntry{frame: frame, lastLine: line, valid: true}
+		return nil
+	}
+	var dir int
+	switch {
+	case line > e.lastLine:
+		dir = 1
+	case line < e.lastLine:
+		dir = -1
+	default:
+		return nil
+	}
+	// A stream means same-direction, near-sequential progress: the hardware
+	// does not chase large or erratic jumps (which is also why the attacks
+	// pick strides beyond four lines, §7.1).
+	near := diffAbs(line, e.lastLine) <= 4
+	trigger := e.dir == dir && near
+	e.dir = dir
+	e.lastLine = line
+	if !trigger {
+		return nil
+	}
+	var reqs []Request
+	for i := 1; i <= s.Degree; i++ {
+		t := int64(line) + int64(dir*i)
+		if t < 0 {
+			break
+		}
+		target := mem.PAddr(uint64(t) * mem.LineSize)
+		if !samePage(a.PA, target) {
+			break
+		}
+		s.stats++
+		reqs = append(reqs, Request{Target: target, Source: "streamer"})
+	}
+	return reqs
+}
+
+func (s *Streamer) entryFor(frame uint64) *streamEntry {
+	// Direct-mapped small table; collisions simply restart detection.
+	return &s.table[frame%streamerEntries]
+}
+
+// Reset clears every stream detector.
+func (s *Streamer) Reset() {
+	for i := range s.table {
+		s.table[i] = streamEntry{}
+	}
+}
+
+// Issued reports how many line prefetches the streamer has emitted.
+func (s *Streamer) Issued() uint64 { return s.stats }
+
+// Suite bundles the four hardware prefetchers of one logical core in the
+// order the paper lists them, sharing a single OnLoad feed.
+type Suite struct {
+	IPStride *IPStride
+	DCU      *DCU
+	DPL      *DPL
+	Streamer *Streamer
+}
+
+// NewSuite builds a suite with the default IP-stride configuration. The
+// noise prefetchers start disabled; machine configs enable them.
+func NewSuite() *Suite {
+	return &Suite{
+		IPStride: NewIPStride(DefaultIPStrideConfig()),
+		DCU:      &DCU{},
+		DPL:      &DPL{},
+		Streamer: NewStreamer(2),
+	}
+}
+
+// OnLoad feeds the access to every enabled prefetcher and concatenates the
+// requests.
+func (s *Suite) OnLoad(a Access) []Request {
+	var reqs []Request
+	reqs = append(reqs, s.IPStride.OnLoad(a)...)
+	reqs = append(reqs, s.DCU.OnLoad(a)...)
+	reqs = append(reqs, s.DPL.OnLoad(a)...)
+	reqs = append(reqs, s.Streamer.OnLoad(a)...)
+	return reqs
+}
+
+// FenceReset models a serialising fence: the stream-based detectors (DCU,
+// DPL, streamer) lose their in-flight state; the IP-stride history table is
+// unaffected (it is not a stream detector, and the attack's trained entries
+// demonstrably survive fences on real hardware).
+func (s *Suite) FenceReset() {
+	s.DCU.Reset()
+	s.DPL.Reset()
+	s.Streamer.Reset()
+}

@@ -1,0 +1,197 @@
+package prefetcher
+
+import (
+	"testing"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+)
+
+func missAcc(ip, pa uint64) Access {
+	return Access{IP: ip, PA: mem.PAddr(pa), PID: 1, TLBHit: true, Level: cache.LevelDRAM}
+}
+
+func TestDCUTriggersOnConsecutiveLines(t *testing.T) {
+	d := &DCU{Enabled: true}
+	if got := d.OnLoad(missAcc(1, 0x1000)); got != nil {
+		t.Fatal("first access triggered")
+	}
+	got := d.OnLoad(missAcc(1, 0x1040)) // next line
+	if len(got) != 1 || got[0].Target != 0x1080 {
+		t.Fatalf("next-line prefetch wrong: %v", got)
+	}
+	if d.Issued() != 1 {
+		t.Fatalf("Issued = %d", d.Issued())
+	}
+}
+
+func TestDCUIgnoresJumps(t *testing.T) {
+	d := &DCU{Enabled: true}
+	d.OnLoad(missAcc(1, 0x1000))
+	if got := d.OnLoad(missAcc(1, 0x1400)); got != nil {
+		t.Fatalf("jump triggered DCU: %v", got)
+	}
+}
+
+func TestDCUResetBreaksStream(t *testing.T) {
+	d := &DCU{Enabled: true}
+	d.OnLoad(missAcc(1, 0x1000))
+	d.Reset() // mfence
+	if got := d.OnLoad(missAcc(1, 0x1040)); got != nil {
+		t.Fatalf("post-fence consecutive access triggered: %v", got)
+	}
+}
+
+func TestDCUDisabled(t *testing.T) {
+	d := &DCU{}
+	d.OnLoad(missAcc(1, 0x1000))
+	if got := d.OnLoad(missAcc(1, 0x1040)); got != nil {
+		t.Fatal("disabled DCU fired")
+	}
+}
+
+func TestDCURespectsPageBoundary(t *testing.T) {
+	d := &DCU{Enabled: true}
+	d.OnLoad(missAcc(1, 0xF80)) // second-to-last line of page 0
+	if got := d.OnLoad(missAcc(1, 0xFC0)); got != nil {
+		t.Fatalf("DCU prefetched across the page: %v", got)
+	}
+}
+
+func TestDPLTriggersOnMissStream(t *testing.T) {
+	d := &DPL{Enabled: true}
+	if got := d.OnLoad(missAcc(1, 0x2000)); got != nil {
+		t.Fatal("isolated miss triggered DPL")
+	}
+	got := d.OnLoad(missAcc(1, 0x2080))           // adjacent 128-byte block
+	if len(got) != 1 || got[0].Target != 0x20C0 { // buddy of line 0x2080
+		t.Fatalf("pair prefetch wrong: %v", got)
+	}
+	if d.Issued() != 1 {
+		t.Fatalf("Issued = %d", d.Issued())
+	}
+}
+
+func TestDPLIgnoresL1HitsAndRandomMisses(t *testing.T) {
+	d := &DPL{Enabled: true}
+	hit := missAcc(1, 0x2000)
+	hit.Level = cache.LevelL1
+	if got := d.OnLoad(hit); got != nil {
+		t.Fatal("L1 hit drove DPL")
+	}
+	d.OnLoad(missAcc(1, 0x2000))
+	if got := d.OnLoad(missAcc(1, 0x5000)); got != nil {
+		t.Fatal("distant miss triggered DPL")
+	}
+}
+
+func TestDPLResetBreaksStream(t *testing.T) {
+	d := &DPL{Enabled: true}
+	d.OnLoad(missAcc(1, 0x2000))
+	d.Reset()
+	if got := d.OnLoad(missAcc(1, 0x2080)); got != nil {
+		t.Fatal("post-fence adjacent miss triggered")
+	}
+}
+
+func TestStreamerTriggersOnNearSequential(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	s.OnLoad(missAcc(1, 0x3000))
+	s.OnLoad(missAcc(1, 0x3040)) // establishes ascending direction
+	got := s.OnLoad(missAcc(1, 0x3080))
+	if len(got) != 2 || got[0].Target != 0x30C0 || got[1].Target != 0x3100 {
+		t.Fatalf("streamer prefetches wrong: %v", got)
+	}
+	if s.Issued() != 2 {
+		t.Fatalf("Issued = %d", s.Issued())
+	}
+}
+
+func TestStreamerIgnoresLargeStrides(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	// Ascending but 7 lines apart — the IP-stride prefetcher's territory.
+	s.OnLoad(missAcc(1, 0x3000))
+	s.OnLoad(missAcc(1, 0x3000+7*64))
+	if got := s.OnLoad(missAcc(1, 0x3000+14*64)); got != nil {
+		t.Fatalf("streamer chased a 7-line stride: %v", got)
+	}
+}
+
+func TestStreamerDescending(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	s.OnLoad(missAcc(1, 0x3100))
+	s.OnLoad(missAcc(1, 0x30C0))
+	got := s.OnLoad(missAcc(1, 0x3080))
+	if len(got) != 2 || got[0].Target != 0x3040 {
+		t.Fatalf("descending stream prefetches wrong: %v", got)
+	}
+}
+
+func TestStreamerDirectionFlipSuppresses(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	s.OnLoad(missAcc(1, 0x3000))
+	s.OnLoad(missAcc(1, 0x3040))
+	if got := s.OnLoad(missAcc(1, 0x3000)); got != nil {
+		t.Fatal("direction flip triggered")
+	}
+}
+
+func TestStreamerPerPageTracking(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	// Interleave two pages: each keeps its own detector (frames 3 and 4
+	// map to different table slots).
+	s.OnLoad(missAcc(1, 3*4096))
+	s.OnLoad(missAcc(1, 4*4096))
+	s.OnLoad(missAcc(1, 3*4096+64))
+	s.OnLoad(missAcc(1, 4*4096+64))
+	gotA := s.OnLoad(missAcc(1, 3*4096+128))
+	if len(gotA) == 0 {
+		t.Fatal("page A stream lost to interleaving")
+	}
+}
+
+func TestStreamerReset(t *testing.T) {
+	s := NewStreamer(2)
+	s.Enabled = true
+	s.OnLoad(missAcc(1, 0x3000))
+	s.OnLoad(missAcc(1, 0x3040))
+	s.Reset()
+	if got := s.OnLoad(missAcc(1, 0x3080)); got != nil {
+		t.Fatal("post-reset access triggered")
+	}
+}
+
+func TestSuiteCombinesAndFenceResets(t *testing.T) {
+	suite := NewSuite()
+	suite.DCU.Enabled = true
+	suite.DPL.Enabled = true
+	suite.Streamer.Enabled = true
+	suite.OnLoad(missAcc(0x10, 0x4000))
+	reqs := suite.OnLoad(missAcc(0x10, 0x4040))
+	if len(reqs) == 0 {
+		t.Fatal("suite produced nothing on a consecutive access")
+	}
+	sources := map[string]bool{}
+	for _, r := range reqs {
+		sources[r.Source] = true
+	}
+	if !sources["dcu"] && !sources["dpl"] {
+		t.Fatalf("expected stream-prefetcher requests, got %v", reqs)
+	}
+	suite.FenceReset()
+	if got := suite.OnLoad(missAcc(0x20, 0x4080)); len(got) != 0 {
+		t.Fatalf("post-fence access still triggered: %v", got)
+	}
+}
+
+func TestStreamerDefaultDegree(t *testing.T) {
+	s := NewStreamer(0)
+	if s.Degree != 2 {
+		t.Fatalf("default degree = %d", s.Degree)
+	}
+}

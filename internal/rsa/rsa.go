@@ -1,0 +1,100 @@
+// Package rsa implements textbook RSA over the from-scratch bignum package:
+// key generation, raw encryption, and a timing-constant Montgomery-ladder
+// decryption — the MbedTLS-style engine of Figures 3 and 4 that the paper's
+// end-to-end attack extracts a private key from (§6.2). Decryption exposes a
+// per-ladder-iteration hook so the simulated victim can issue the branch-
+// dependent loads at exactly the algorithmic point AfterImage targets.
+package rsa
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"afterimage/internal/bignum"
+)
+
+// PublicKey is (N, e).
+type PublicKey struct {
+	N bignum.Nat
+	E bignum.Nat
+}
+
+// PrivateKey carries the private exponent and the generating primes.
+type PrivateKey struct {
+	PublicKey
+	D bignum.Nat
+	P bignum.Nat
+	Q bignum.Nat
+}
+
+// GenerateKey produces a key with an n-bit modulus from the deterministic
+// source. e is fixed to 65537.
+func GenerateKey(rng *rand.Rand, bits int) (*PrivateKey, error) {
+	if bits < 32 || bits%2 != 0 {
+		return nil, fmt.Errorf("rsa: modulus size %d unsupported", bits)
+	}
+	e := bignum.New(65537)
+	one := bignum.New(1)
+	for {
+		p := bignum.GeneratePrime(rng, bits/2, 12)
+		q := bignum.GeneratePrime(rng, bits/2, 12)
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := p.Mul(q)
+		if n.BitLen() != bits {
+			continue
+		}
+		phi := p.Sub(one).Mul(q.Sub(one))
+		d, ok := bignum.ModInverse(e, phi)
+		if !ok {
+			continue
+		}
+		return &PrivateKey{PublicKey: PublicKey{N: n, E: e}, D: d, P: p, Q: q}, nil
+	}
+}
+
+// Encrypt computes m^e mod N (raw, textbook RSA — the primitive the paper's
+// victims expose).
+func (pub *PublicKey) Encrypt(m bignum.Nat) (bignum.Nat, error) {
+	if m.Cmp(pub.N) >= 0 {
+		return bignum.Nat{}, fmt.Errorf("rsa: message exceeds modulus")
+	}
+	return bignum.ModExp(m, pub.E, pub.N), nil
+}
+
+// Decrypt computes c^d mod N with the timing-constant Montgomery ladder.
+func (priv *PrivateKey) Decrypt(c bignum.Nat) bignum.Nat {
+	return bignum.ModExpLadder(c, priv.D, priv.N, nil)
+}
+
+// DecryptWithHook is Decrypt with a per-ladder-iteration observer; the
+// simulated victim uses it to issue the Figure 3/4 branch-dependent loads.
+func (priv *PrivateKey) DecryptWithHook(c bignum.Nat, hook bignum.LadderHook) bignum.Nat {
+	return bignum.ModExpLadder(c, priv.D, priv.N, hook)
+}
+
+// KeyBits reports the modulus size.
+func (priv *PrivateKey) KeyBits() int { return priv.N.BitLen() }
+
+var (
+	testKeyMu    sync.Mutex
+	testKeyCache = map[int]*PrivateKey{}
+)
+
+// TestKey returns a deterministic cached key of the given modulus size —
+// shared by tests, benchmarks and examples to avoid repeated generation.
+func TestKey(bits int) *PrivateKey {
+	testKeyMu.Lock()
+	defer testKeyMu.Unlock()
+	if k, ok := testKeyCache[bits]; ok {
+		return k
+	}
+	k, err := GenerateKey(rand.New(rand.NewSource(int64(bits)*7919+1)), bits)
+	if err != nil {
+		panic(err)
+	}
+	testKeyCache[bits] = k
+	return k
+}

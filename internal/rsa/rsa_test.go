@@ -1,0 +1,92 @@
+package rsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"afterimage/internal/bignum"
+)
+
+func TestRoundTrip(t *testing.T) {
+	key := TestKey(256)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		m := bignum.RandBelow(rng, key.N)
+		c, err := key.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := key.Decrypt(c); got.Cmp(m) != 0 {
+			t.Fatalf("roundtrip failed: %v -> %v", m, got)
+		}
+	}
+}
+
+func TestHookedDecryptMatchesPlain(t *testing.T) {
+	key := TestKey(256)
+	c, _ := key.Encrypt(bignum.New(12345))
+	var bits int
+	got := key.DecryptWithHook(c, func(i int, b uint) { bits++ })
+	if got.Cmp(key.Decrypt(c)) != 0 {
+		t.Fatal("hooked decrypt diverged")
+	}
+	if bits != key.D.BitLen() {
+		t.Fatalf("hook saw %d iterations, want %d", bits, key.D.BitLen())
+	}
+}
+
+func TestHookObservesExactKeyBits(t *testing.T) {
+	key := TestKey(128)
+	c, _ := key.Encrypt(bignum.New(7))
+	var seen []uint
+	key.DecryptWithHook(c, func(i int, b uint) { seen = append(seen, b) })
+	for idx, b := range seen {
+		bitIndex := key.D.BitLen() - 1 - idx
+		if b != key.D.Bit(bitIndex) {
+			t.Fatalf("iteration %d reported bit %d, want %d", idx, b, key.D.Bit(bitIndex))
+		}
+	}
+}
+
+func TestEncryptRejectsOversizedMessage(t *testing.T) {
+	key := TestKey(128)
+	if _, err := key.Encrypt(key.N.Add(bignum.New(1))); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestGenerateKeyProperties(t *testing.T) {
+	key, err := GenerateKey(rand.New(rand.NewSource(2)), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.N.BitLen() != 128 {
+		t.Fatalf("modulus bits = %d", key.N.BitLen())
+	}
+	if key.P.Mul(key.Q).Cmp(key.N) != 0 {
+		t.Fatal("N != P*Q")
+	}
+	// e·d ≡ 1 (mod φ)
+	one := bignum.New(1)
+	phi := key.P.Sub(one).Mul(key.Q.Sub(one))
+	if key.E.ModMul(key.D, phi).Cmp(one) != 0 {
+		t.Fatal("e·d mod phi != 1")
+	}
+}
+
+func TestGenerateKeyRejectsBadSizes(t *testing.T) {
+	if _, err := GenerateKey(rand.New(rand.NewSource(1)), 31); err == nil {
+		t.Fatal("odd/small size accepted")
+	}
+}
+
+func TestTestKeyIsCachedAndDeterministic(t *testing.T) {
+	a := TestKey(128)
+	b := TestKey(128)
+	if a != b {
+		t.Fatal("TestKey not cached")
+	}
+	if a.D.IsZero() {
+		t.Fatal("degenerate test key")
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim is the execution engine of the AfterImage simulator: a cycle-
+// counting single-logical-core machine with an inclusive cache hierarchy, a
+// dTLB, the four hardware prefetchers, cooperative threads and processes, a
+// kernel with syscalls, an SGX-style enclave domain, and a context-switch
+// noise model. Attacker and victim code are plain Go functions driven
+// through an Env, whose every operation advances the simulated clock and
+// touches the simulated microarchitecture.
+package sim
+
+import (
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+	"afterimage/internal/prefetcher"
+	"afterimage/internal/tlb"
+)
+
+// NoiseConfig models the microarchitectural pollution caused by domain
+// switches (§5.1 and §7.2 observe that context switches touch over half of
+// the eviction sets and disturb the 24-entry prefetcher table).
+type NoiseConfig struct {
+	// ProcessSwitchCycles is the direct cost of a process context switch.
+	ProcessSwitchCycles uint64
+	// ThreadSwitchCycles is the (smaller) cost of a same-process switch.
+	ThreadSwitchCycles uint64
+	// KernelLines is how many scheduler-owned cache lines a process switch
+	// touches (polluting LLC sets).
+	KernelLines int
+	// KernelIPLoads is how many of those loads also pass through the
+	// prefetcher with distinct kernel IPs, disturbing history entries.
+	KernelIPLoads int
+	// ThreadKernelLines / ThreadKernelIPLoads are the same for same-process
+	// (sched_yield style) switches.
+	ThreadKernelLines   int
+	ThreadKernelIPLoads int
+	// SyscallCycles is the bare user→kernel→user round-trip cost.
+	SyscallCycles uint64
+	// SyscallKernelLines / SyscallKernelIPLoads model the kernel entry
+	// path's own memory activity (entry trampolines, audit, accounting),
+	// which pollutes caches and occasionally the prefetcher — the noise
+	// behind Variant 2's 91 % (vs. cross-thread's 99 %) success rate.
+	SyscallKernelLines   int
+	SyscallKernelIPLoads int
+	// EnclaveSwitchCycles is the EENTER/EEXIT round-trip cost.
+	EnclaveSwitchCycles uint64
+}
+
+// SMTConfig enables simultaneous-multithreading co-residence: tasks share
+// the logical core at instruction granularity instead of scheduling-quantum
+// granularity. §6.2 lists SMT as an alternative synchronisation channel for
+// the attacker — no sched_yield cooperation from the victim is needed.
+type SMTConfig struct {
+	Enabled bool
+	// OpsPerSlice is how many memory operations a task executes before the
+	// hardware thread implicitly hands over (fetch-interleaving model).
+	OpsPerSlice int
+}
+
+// MeasureConfig models timing-measurement overheads (serialising rdtscp
+// pairs) and jitter.
+type MeasureConfig struct {
+	Overhead     uint64 // constant added to every timed load
+	JitterSpan   uint64 // uniform jitter in [0, JitterSpan)
+	HitThreshold uint64 // latency below this is treated as an LLC-or-better hit
+}
+
+// Config is the full machine description. Table 2 of the paper maps to the
+// Haswell and CoffeeLake constructors.
+type Config struct {
+	Name      string
+	Cores     int
+	GHz       float64
+	Hierarchy cache.HierarchyConfig
+	TLB       tlb.Config
+	IPStride  prefetcher.IPStrideConfig
+	// Noise prefetchers on/off (§7.1: they stay enabled on real machines;
+	// the attack chooses strides > 4 lines to sidestep them).
+	DCUEnabled, DPLEnabled, StreamerEnabled bool
+	Noise                                   NoiseConfig
+	Measure                                 MeasureConfig
+	SMT                                     SMTConfig
+	PhysMem                                 uint64
+	ASLRSeed                                int64 // 0 disables ASLR (the paper keeps it enabled; so do we)
+	Seed                                    int64 // master seed for jitter and noise
+	// FlushPrefetcherOnSwitch enables the paper's proposed
+	// clear-ip-prefetcher mitigation at every domain switch (§8.3).
+	FlushPrefetcherOnSwitch bool
+}
+
+func defaultNoise() NoiseConfig {
+	return NoiseConfig{
+		ProcessSwitchCycles:  4200,
+		ThreadSwitchCycles:   1400,
+		KernelLines:          48,
+		KernelIPLoads:        2,
+		ThreadKernelLines:    6,
+		ThreadKernelIPLoads:  1,
+		SyscallCycles:        900,
+		SyscallKernelLines:   32,
+		SyscallKernelIPLoads: 16,
+		EnclaveSwitchCycles:  7000,
+	}
+}
+
+func defaultMeasure() MeasureConfig {
+	return MeasureConfig{Overhead: 26, JitterSpan: 9, HitThreshold: 120}
+}
+
+// CoffeeLake returns the i7-9700 configuration of Table 2: 8 cores, 12 MB
+// 16-way sliced LLC, 256 KiB 4-way L2, 32 KiB 8-way L1D.
+func CoffeeLake(seed int64) Config {
+	return Config{
+		Name:  "Coffee Lake i7-9700",
+		Cores: 8,
+		GHz:   3.0,
+		Hierarchy: cache.HierarchyConfig{
+			L1: cache.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8,
+				LineSize: mem.LineSize, Policy: cache.TreePLRU},
+			L2: cache.Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4,
+				LineSize: mem.LineSize, Policy: cache.TreePLRU},
+			LLC: cache.Config{Name: "LLC", SizeBytes: 12 << 20, Ways: 16,
+				LineSize: mem.LineSize, Policy: cache.LRU, Slices: 8},
+			Lat: cache.Latencies{L1: 4, L2: 14, LLC: 44, DRAM: 200},
+		},
+		TLB:             tlb.DefaultConfig(),
+		IPStride:        prefetcher.DefaultIPStrideConfig(),
+		DCUEnabled:      true,
+		DPLEnabled:      true,
+		StreamerEnabled: true,
+		Noise:           defaultNoise(),
+		Measure:         defaultMeasure(),
+		PhysMem:         2 << 30,
+		ASLRSeed:        seed + 101,
+		Seed:            seed,
+	}
+}
+
+// Haswell returns the i7-4770 configuration of Table 2: 4 cores, 8 MB
+// 16-way sliced LLC, 256 KiB 8-way L2.
+func Haswell(seed int64) Config {
+	cfg := CoffeeLake(seed)
+	cfg.Name = "Haswell i7-4770"
+	cfg.Cores = 4
+	cfg.Hierarchy.L2.Ways = 8
+	cfg.Hierarchy.LLC.SizeBytes = 8 << 20
+	cfg.Hierarchy.LLC.Slices = 4
+	cfg.Hierarchy.Lat = cache.Latencies{L1: 4, L2: 12, LLC: 40, DRAM: 210}
+	return cfg
+}
+
+// Quiet returns cfg with all domain-switch noise removed — useful for the
+// reverse-engineering microbenchmarks, which run attacker-only code.
+func Quiet(cfg Config) Config {
+	cfg.Noise.KernelLines = 0
+	cfg.Noise.KernelIPLoads = 0
+	cfg.Noise.ThreadKernelLines = 0
+	cfg.Noise.ThreadKernelIPLoads = 0
+	cfg.Noise.SyscallKernelLines = 0
+	cfg.Noise.SyscallKernelIPLoads = 0
+	cfg.Measure.JitterSpan = 1
+	return cfg
+}

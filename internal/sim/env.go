@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+)
+
+// Env is the instruction-level API handed to simulated code. Every method
+// advances the machine clock and exercises the simulated hardware, so a Go
+// function driving an Env behaves like a program on the modelled core.
+type Env struct {
+	m      *Machine
+	proc   *Process
+	domain Domain
+	task   *task    // nil for Direct envs
+	caller *Process // for kernel envs: the syscall-issuing process
+}
+
+// Machine returns the underlying machine.
+func (e *Env) Machine() *Machine { return e.m }
+
+// Process returns the owning process.
+func (e *Env) Process() *Process { return e.proc }
+
+// Domain reports the current privilege domain.
+func (e *Env) Domain() Domain { return e.domain }
+
+// PID reports the context ID used for prefetcher tagging.
+func (e *Env) PID() int {
+	if e.domain == DomainKernel {
+		return KernelPID
+	}
+	return e.proc.PID
+}
+
+// Now reports the machine clock.
+func (e *Env) Now() uint64 { return e.m.Now() }
+
+// addressSpace picks the translation context for regular accesses.
+func (e *Env) addressSpace() *mem.AddressSpace {
+	if e.domain == DomainKernel {
+		return e.m.Kernel.AS
+	}
+	return e.proc.AS
+}
+
+// Load executes a load instruction at the given IP touching virtual address
+// v; it returns the raw latency in cycles.
+func (e *Env) Load(ip uint64, v mem.VAddr) uint64 {
+	lat := e.m.load(ip, v, e.PID(), e.addressSpace())
+	e.m.tick(e)
+	return lat
+}
+
+// TimeLoad executes a load bracketed by serialising timestamp reads and
+// returns the measured latency (true latency + overhead + jitter).
+func (e *Env) TimeLoad(ip uint64, v mem.VAddr) uint64 {
+	lat := e.m.timedLoad(ip, v, e.PID(), e.addressSpace())
+	e.m.tick(e)
+	return lat
+}
+
+// LoadUser is a kernel-mode load that translates through the syscall
+// caller's address space (copy_from_user-style access to user memory).
+func (e *Env) LoadUser(ip uint64, v mem.VAddr) uint64 {
+	if e.domain != DomainKernel || e.caller == nil {
+		panic("sim: LoadUser outside a syscall handler")
+	}
+	return e.m.load(ip, v, KernelPID, e.caller.AS)
+}
+
+// Flush issues clflush for the line containing v.
+func (e *Env) Flush(v mem.VAddr) {
+	e.m.flush(v, e.addressSpace())
+	e.m.tick(e)
+}
+
+// FlushRange clflushes every line of [v, v+n).
+func (e *Env) FlushRange(v mem.VAddr, n uint64) {
+	for off := uint64(0); off < n; off += mem.LineSize {
+		e.Flush(v + mem.VAddr(off))
+	}
+}
+
+// Fence executes a serialising memory fence (mfence). Per the Intel manual
+// note the artifact relies on (appendix A.6), the barrier stops in-flight
+// stream detection, so the DCU/DPL/streamer detectors reset; the IP-stride
+// history table survives.
+func (e *Env) Fence() {
+	e.m.Pref.FenceReset()
+	e.m.advance(20)
+	e.m.tick(e)
+}
+
+// Probe inspects, without architectural effect, which level would serve v.
+// It models an oracle used only by tests and figure annotation — attacks
+// must use TimeLoad.
+func (e *Env) Probe(v mem.VAddr) cache.Level {
+	pa, ok := e.addressSpace().Translate(v)
+	if !ok {
+		return cache.LevelDRAM
+	}
+	return e.m.Mem.Probe(pa)
+}
+
+// Cached reports whether v is resident in any cache level (oracle; tests
+// and harness annotation only).
+func (e *Env) Cached(v mem.VAddr) bool { return e.Probe(v) != cache.LevelDRAM }
+
+// WarmTLB pre-installs the translation of v, matching the paper's threat-
+// model assumption that victim pages are TLB-resident.
+func (e *Env) WarmTLB(v mem.VAddr) { e.m.TLB.Warm(e.addressSpace().ID, v) }
+
+// Mmap maps fresh memory into the current process.
+func (e *Env) Mmap(length uint64, kind mem.MapKind) *mem.Mapping {
+	e.m.advance(600) // syscall-ish cost
+	return e.proc.AS.MustMmap(length, kind)
+}
+
+// Sleep advances the clock by the given number of cycles (computation that
+// does not touch memory).
+func (e *Env) Sleep(cycles uint64) {
+	e.m.advance(cycles)
+	e.m.tick(e)
+}
+
+// Yield gives up the CPU (sched_yield): the scheduler picks the next
+// runnable task and applies domain-switch costs and noise. On a Direct env
+// it only advances time.
+func (e *Env) Yield() {
+	if e.task == nil {
+		e.m.advance(e.m.Cfg.Noise.ThreadSwitchCycles)
+		return
+	}
+	e.m.sched.yield(e.task)
+}
+
+// Syscall transfers control to the registered kernel handler. The handler
+// runs synchronously in the kernel domain on this core, sharing the
+// prefetcher and caches — Observation 2 of the paper.
+func (e *Env) Syscall(num int, args ...uint64) uint64 {
+	h, ok := e.m.syscalls[num]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown syscall %d", num))
+	}
+	e.m.syscallCount++
+	e.m.advance(e.m.Cfg.Noise.SyscallCycles / 2)
+	e.m.kernelNoise(e.m.Cfg.Noise.SyscallKernelLines, e.m.Cfg.Noise.SyscallKernelIPLoads)
+	kenv := &Env{m: e.m, proc: e.m.Kernel, domain: DomainKernel, task: e.task, caller: e.proc}
+	ret := h(kenv, args...)
+	e.m.advance(e.m.Cfg.Noise.SyscallCycles / 2)
+	return ret
+}
+
+// EnclaveCall runs fn inside an SGX-style enclave domain: entry and exit
+// cost EENTER/EEXIT cycles, but — as §4.6 established — the prefetcher state
+// and any prefetched lines survive the transition.
+func (e *Env) EnclaveCall(fn func(*Env)) {
+	e.m.advance(e.m.Cfg.Noise.EnclaveSwitchCycles / 2)
+	eenv := &Env{m: e.m, proc: e.proc, domain: DomainEnclave, task: e.task}
+	fn(eenv)
+	e.m.advance(e.m.Cfg.Noise.EnclaveSwitchCycles / 2)
+}
+
+// HitThreshold exposes the configured hit/miss latency threshold (the
+// paper's 120-cycle rule).
+func (e *Env) HitThreshold() uint64 { return e.m.Cfg.Measure.HitThreshold }
+
+// Shuffle returns a deterministic Fisher–Yates permutation of [0, n) using
+// the machine RNG — the artifact's randomised reload order (appendix A.6).
+func (e *Env) Shuffle(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	r := e.m.noise
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}

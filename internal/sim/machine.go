@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+	"afterimage/internal/prefetcher"
+	"afterimage/internal/tlb"
+)
+
+// Domain is the privilege domain a task executes in.
+type Domain int
+
+// Privilege domains.
+const (
+	DomainUser Domain = iota
+	DomainKernel
+	DomainEnclave
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainUser:
+		return "user"
+	case DomainKernel:
+		return "kernel"
+	case DomainEnclave:
+		return "enclave"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// KernelPID is the context ID used for kernel-mode accesses.
+const KernelPID = -1
+
+// Process owns an address space.
+type Process struct {
+	PID  int
+	Name string
+	AS   *mem.AddressSpace
+}
+
+// SyscallHandler services one syscall number. The Env it receives executes
+// in the kernel domain but can still translate the calling process's
+// addresses via LoadUser/FlushUser (the kernel may touch user pages, as
+// copy_from_user does).
+type SyscallHandler func(e *Env, args ...uint64) uint64
+
+// Machine is one simulated logical core plus its memory system.
+type Machine struct {
+	Cfg  Config
+	Mem  *cache.Hierarchy
+	TLB  *tlb.TLB
+	Pref *prefetcher.Suite
+	Phys *mem.PhysMemory
+
+	Kernel *Process
+
+	clock    uint64
+	nextPID  int
+	procs    []*Process
+	syscalls map[int]SyscallHandler
+
+	jitter *rand.Rand
+	noise  *rand.Rand
+	smtOps int
+
+	// noiseRegion backs the kernel lines touched on context switches.
+	noiseRegion *mem.Mapping
+
+	sched *scheduler
+
+	// Counters.
+	domainSwitches uint64
+	syscallCount   uint64
+}
+
+// NewMachine builds a machine from its config.
+func NewMachine(cfg Config) *Machine {
+	h, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		panic(err)
+	}
+	suite := &prefetcher.Suite{
+		IPStride: prefetcher.NewIPStride(cfg.IPStride),
+		DCU:      &prefetcher.DCU{Enabled: cfg.DCUEnabled},
+		DPL:      &prefetcher.DPL{Enabled: cfg.DPLEnabled},
+		Streamer: prefetcher.NewStreamer(2),
+	}
+	suite.Streamer.Enabled = cfg.StreamerEnabled
+	m := &Machine{
+		Cfg:      cfg,
+		Mem:      h,
+		TLB:      tlb.New(cfg.TLB),
+		Pref:     suite,
+		Phys:     mem.NewPhysMemory(cfg.PhysMem),
+		syscalls: make(map[int]SyscallHandler),
+		jitter:   rand.New(rand.NewSource(cfg.Seed + 7)),
+		noise:    rand.New(rand.NewSource(cfg.Seed + 13)),
+	}
+	m.Kernel = &Process{PID: KernelPID, Name: "kernel",
+		AS: mem.NewAddressSpace("kernel", m.Phys, kaslrSeed(cfg))}
+	m.noiseRegion = m.Kernel.AS.MustMmap(64*mem.PageSize, mem.MapLocked)
+	m.sched = newScheduler(m)
+	return m
+}
+
+func kaslrSeed(cfg Config) int64 {
+	if cfg.ASLRSeed == 0 {
+		return 0
+	}
+	return cfg.ASLRSeed + 1
+}
+
+// NewProcess creates a user process with its own (ASLR-randomised) address
+// space.
+func (m *Machine) NewProcess(name string) *Process {
+	m.nextPID++
+	var seed int64
+	if m.Cfg.ASLRSeed != 0 {
+		seed = m.Cfg.ASLRSeed + int64(m.nextPID)*997
+	}
+	p := &Process{PID: m.nextPID, Name: name,
+		AS: mem.NewAddressSpace(name, m.Phys, seed)}
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// RegisterSyscall installs a kernel service routine.
+func (m *Machine) RegisterSyscall(num int, h SyscallHandler) {
+	m.syscalls[num] = h
+}
+
+// Now reports the current cycle count.
+func (m *Machine) Now() uint64 { return m.clock }
+
+// Seconds converts a cycle count to wall-clock seconds at the configured
+// frequency.
+func (m *Machine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / (m.Cfg.GHz * 1e9)
+}
+
+// DomainSwitches reports how many domain/context switches have occurred.
+func (m *Machine) DomainSwitches() uint64 { return m.domainSwitches }
+
+// advance moves the clock forward.
+func (m *Machine) advance(cycles uint64) { m.clock += cycles }
+
+// load performs one demand load in the context (pid, as) and returns its
+// latency. It drives the TLB, the hierarchy and the prefetchers, and fills
+// prefetch targets.
+func (m *Machine) load(ip uint64, v mem.VAddr, pid int, as *mem.AddressSpace) uint64 {
+	pa, ok := as.Translate(v)
+	if !ok {
+		panic(fmt.Sprintf("sim: segmentation fault: %s accessed unmapped %#x", as.Name, uint64(v)))
+	}
+	tlbHit, walk := m.TLB.Lookup(as.ID, v)
+	level, lat := m.Mem.Load(pa)
+	latency := lat + walk + 1 // +1 issue cycle
+	reqs := m.Pref.OnLoad(prefetcher.Access{
+		IP: ip, PA: pa, PID: pid, TLBHit: tlbHit, Level: level,
+	})
+	for _, r := range reqs {
+		m.Mem.Prefetch(r.Target)
+	}
+	m.advance(latency)
+	return latency
+}
+
+// timedLoad is load plus measurement overhead and jitter — what an attacker
+// sees from an rdtscp-fenced load.
+func (m *Machine) timedLoad(ip uint64, v mem.VAddr, pid int, as *mem.AddressSpace) uint64 {
+	lat := m.load(ip, v, pid, as)
+	meas := lat + m.Cfg.Measure.Overhead
+	if span := m.Cfg.Measure.JitterSpan; span > 0 {
+		meas += uint64(m.jitter.Int63n(int64(span)))
+	}
+	m.advance(m.Cfg.Measure.Overhead)
+	return meas
+}
+
+// flush performs clflush of the line containing v.
+func (m *Machine) flush(v mem.VAddr, as *mem.AddressSpace) {
+	if pa, ok := as.Translate(v); ok {
+		m.Mem.Flush(pa)
+	}
+	m.advance(40) // clflush is slow
+}
+
+// domainSwitch applies the cost and microarchitectural pollution of moving
+// between execution contexts.
+func (m *Machine) domainSwitch(sameProcess bool) {
+	m.domainSwitches++
+	n := m.Cfg.Noise
+	if sameProcess {
+		m.advance(n.ThreadSwitchCycles)
+		m.kernelNoise(n.ThreadKernelLines, n.ThreadKernelIPLoads)
+	} else {
+		// TLB entries are PCID-tagged and survive the switch; processes
+		// only contend for TLB capacity.
+		m.advance(n.ProcessSwitchCycles)
+		m.kernelNoise(n.KernelLines, n.KernelIPLoads)
+	}
+	if m.Cfg.FlushPrefetcherOnSwitch {
+		m.Pref.IPStride.Flush()
+		m.advance(uint64(m.Cfg.IPStride.Entries)) // one cycle per cleared entry (§8.3)
+	}
+}
+
+// kernelNoise models the scheduler's own memory activity: `lines` cache
+// lines touched in kernel data (evicting attacker lines) of which
+// `ipLoads` also train/disturb the prefetcher under kernel IPs.
+func (m *Machine) kernelNoise(lines, ipLoads int) {
+	if lines <= 0 {
+		return
+	}
+	base := m.noiseRegion.Base
+	span := int64(m.noiseRegion.Length)
+	for i := 0; i < lines; i++ {
+		off := m.noise.Int63n(span/mem.LineSize) * mem.LineSize
+		v := base + mem.VAddr(off)
+		pa, _ := m.Kernel.AS.Translate(v)
+		level, _ := m.Mem.Load(pa)
+		if i < ipLoads {
+			// Kernel scheduler loads pass through the prefetcher with
+			// miscellaneous kernel IPs, occasionally evicting entries.
+			ip := 0xffffffff81000000 + uint64(m.noise.Int63n(256))
+			reqs := m.Pref.OnLoad(prefetcher.Access{
+				IP: ip, PA: pa, PID: KernelPID, TLBHit: true, Level: level,
+			})
+			for _, r := range reqs {
+				m.Mem.Prefetch(r.Target)
+			}
+		}
+	}
+	m.advance(uint64(lines) * 8)
+}
+
+// tick is called after every memory operation of a scheduled task; under
+// SMT it hands the core to the sibling thread every OpsPerSlice operations
+// (no context-switch cost or noise — the threads co-reside).
+func (m *Machine) tick(e *Env) {
+	if !m.Cfg.SMT.Enabled || e.task == nil || m.sched.current != e.task {
+		return
+	}
+	m.smtOps++
+	slice := m.Cfg.SMT.OpsPerSlice
+	if slice <= 0 {
+		slice = 1
+	}
+	if m.smtOps >= slice {
+		m.smtOps = 0
+		m.sched.smtSwitch = true
+		m.sched.yield(e.task)
+	}
+}
+
+// Direct returns an Env for synchronous, schedulerless use (micro-
+// benchmarks and tests). Yield on a direct Env advances time without
+// switching.
+func (m *Machine) Direct(p *Process) *Env {
+	return &Env{m: m, proc: p, domain: DomainUser}
+}
+
+// Rand exposes the machine's deterministic auxiliary RNG (for shuffled
+// reloads à la Fisher–Yates in the artifact).
+func (m *Machine) Rand() *rand.Rand { return m.noise }

@@ -1,0 +1,144 @@
+package sim
+
+import "fmt"
+
+// task is one cooperative thread of execution. Tasks run one at a time —
+// all on the same logical core, as the paper's threat model requires — and
+// hand off explicitly via Yield, mirroring the sched_yield synchronisation
+// the paper uses (§6.2).
+type task struct {
+	name   string
+	proc   *Process
+	body   func(*Env)
+	resume chan struct{}
+	done   bool
+}
+
+// Task is the public handle for a spawned task.
+type Task struct{ t *task }
+
+// Done reports whether the task body has returned.
+func (t *Task) Done() bool { return t.t.done }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.t.name }
+
+type schedEvent struct {
+	from *task
+	done bool
+}
+
+// scheduler drives cooperative round-robin execution with strict handoff:
+// exactly one task goroutine runs at a time, so execution is deterministic.
+type scheduler struct {
+	m       *Machine
+	tasks   []*task
+	events  chan schedEvent
+	running bool
+	current *task
+	// smtSwitch marks the next handoff as an SMT thread interleave: no
+	// context-switch cost, no kernel noise (the threads co-reside).
+	smtSwitch bool
+}
+
+func newScheduler(m *Machine) *scheduler {
+	return &scheduler{m: m, events: make(chan schedEvent)}
+}
+
+// Spawn registers a task. Tasks start when Run is called, in spawn order.
+func (m *Machine) Spawn(p *Process, name string, body func(*Env)) *Task {
+	t := &task{name: name, proc: p, body: body, resume: make(chan struct{})}
+	m.sched.tasks = append(m.sched.tasks, t)
+	return &Task{t: t}
+}
+
+// Run executes all spawned tasks to completion under cooperative
+// round-robin scheduling and returns the total cycles elapsed.
+func (m *Machine) Run() uint64 {
+	return m.sched.run()
+}
+
+func (s *scheduler) run() uint64 {
+	if s.running {
+		panic("sim: Run called re-entrantly")
+	}
+	if len(s.tasks) == 0 {
+		return 0
+	}
+	s.running = true
+	start := s.m.Now()
+
+	// Launch every task goroutine parked on its resume channel.
+	for _, t := range s.tasks {
+		t := t
+		go func() {
+			<-t.resume
+			env := &Env{m: s.m, proc: t.proc, domain: DomainUser, task: t}
+			t.body(env)
+			t.done = true
+			s.events <- schedEvent{from: t, done: true}
+		}()
+	}
+
+	s.current = s.tasks[0]
+	s.current.resume <- struct{}{}
+	for {
+		ev := <-s.events
+		next := s.next(ev.from)
+		if next == nil {
+			break // all done
+		}
+		if next != ev.from || ev.done {
+			s.switchTo(ev.from, next)
+		}
+		s.current = next
+		next.resume <- struct{}{}
+	}
+	s.running = false
+	s.tasks = nil
+	return s.m.Now() - start
+}
+
+// yield is called from a task goroutine: it notifies the scheduler and
+// blocks until resumed.
+func (s *scheduler) yield(t *task) {
+	if s.current != t {
+		panic(fmt.Sprintf("sim: yield from non-current task %q", t.name))
+	}
+	s.events <- schedEvent{from: t}
+	<-t.resume
+}
+
+// next picks the next runnable task after `from` in round-robin order, or
+// nil when none remain.
+func (s *scheduler) next(from *task) *task {
+	idx := 0
+	for i, t := range s.tasks {
+		if t == from {
+			idx = i
+			break
+		}
+	}
+	for off := 1; off <= len(s.tasks); off++ {
+		t := s.tasks[(idx+off)%len(s.tasks)]
+		if !t.done {
+			return t
+		}
+	}
+	return nil
+}
+
+// switchTo applies the microarchitectural cost of handing the core from one
+// task to another. SMT interleaves are free: both hardware threads already
+// share the core's TLB, caches and prefetchers.
+func (s *scheduler) switchTo(from, to *task) {
+	if from == nil || to == nil || from == to {
+		return
+	}
+	if s.smtSwitch {
+		s.smtSwitch = false
+		s.m.advance(1)
+		return
+	}
+	s.m.domainSwitch(from.proc == to.proc)
+}

@@ -1,0 +1,282 @@
+// Package stats provides the statistical machinery shared by the AfterImage
+// experiments: running moments, latency histograms, hit/miss thresholding,
+// success-rate accounting and Welch's t-test as used by the leakage
+// assessment of Figure 16.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming first and second moments of a sample.
+// The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the mean (Welford)
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddN incorporates every observation in xs.
+func (r *Running) AddN(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// N reports the number of observations seen so far.
+func (r *Running) N() int { return r.n }
+
+// Mean reports the sample mean, or 0 for an empty accumulator.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance reports the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev reports the unbiased sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge combines another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// WelchT computes Welch's two-sample t statistic and the Welch–Satterthwaite
+// degrees of freedom for samples summarised by a and b. It returns (0, 0)
+// when either sample has fewer than two observations or both variances are
+// zero.
+func WelchT(a, b Running) (t, df float64) {
+	if a.n < 2 || b.n < 2 {
+		return 0, 0
+	}
+	va := a.Variance() / float64(a.n)
+	vb := b.Variance() / float64(b.n)
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	num := (va + vb) * (va + vb)
+	den := va*va/float64(a.n-1) + vb*vb/float64(b.n-1)
+	if den == 0 {
+		return t, 0
+	}
+	return t, num / den
+}
+
+// TTestThreshold is the PASS/FAIL leakage threshold proposed by the TVLA
+// methodology and used by the paper (|t| > 4.5 indicates leakage).
+const TTestThreshold = 4.5
+
+// Histogram is a fixed-width latency histogram.
+type Histogram struct {
+	Lo, Hi   float64 // inclusive range covered by the buckets
+	Buckets  []int
+	width    float64
+	under    int
+	over     int
+	observed Running
+}
+
+// NewHistogram builds a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n), width: (hi - lo) / float64(n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.observed.Add(x)
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		h.Buckets[int((x-h.Lo)/h.width)]++
+	}
+}
+
+// Count reports the total number of observations, including out-of-range ones.
+func (h *Histogram) Count() int { return h.observed.N() }
+
+// Mean reports the mean of all observations.
+func (h *Histogram) Mean() float64 { return h.observed.Mean() }
+
+// Percentile returns an approximation of the p-th percentile (0..100) using
+// bucket midpoints; out-of-range mass is clamped to the range edges.
+func (h *Histogram) Percentile(p float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := int(math.Ceil(p / 100 * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	seen := h.under
+	if seen >= target {
+		return h.Lo
+	}
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			return h.Lo + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.Hi
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) n=%d mean=%.1f p50=%.1f p99=%.1f",
+		h.Lo, h.Hi, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99))
+}
+
+// SuccessRate tracks trial outcomes and reports the empirical success ratio.
+type SuccessRate struct {
+	Trials, Successes int
+}
+
+// Record adds one trial outcome.
+func (s *SuccessRate) Record(ok bool) {
+	s.Trials++
+	if ok {
+		s.Successes++
+	}
+}
+
+// Rate reports successes/trials, or 0 when no trial was recorded.
+func (s *SuccessRate) Rate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Successes) / float64(s.Trials)
+}
+
+// Percent reports the rate as a percentage.
+func (s *SuccessRate) Percent() float64 { return s.Rate() * 100 }
+
+// String renders "97.5% (195/200)".
+func (s *SuccessRate) String() string {
+	return fmt.Sprintf("%.1f%% (%d/%d)", s.Percent(), s.Successes, s.Trials)
+}
+
+// Threshold classifies latencies into hits (below) and misses (at or above).
+type Threshold float64
+
+// Hit reports whether the latency is classified as a cache hit.
+func (t Threshold) Hit(latency uint64) bool { return float64(latency) < float64(t) }
+
+// OtsuThreshold derives a separating threshold from a bimodal latency sample
+// by exhaustive minimisation of intra-class variance (Otsu's method over the
+// sorted sample). It returns the midpoint of the best split, or 0 for fewer
+// than two observations.
+func OtsuThreshold(latencies []uint64) Threshold {
+	if len(latencies) < 2 {
+		return 0
+	}
+	xs := make([]float64, len(latencies))
+	for i, l := range latencies {
+		xs[i] = float64(l)
+	}
+	sort.Float64s(xs)
+	// Prefix sums for O(n) split evaluation.
+	prefix := make([]float64, len(xs)+1)
+	prefix2 := make([]float64, len(xs)+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+		prefix2[i+1] = prefix2[i] + x*x
+	}
+	best, bestCost := 1, math.Inf(1)
+	for k := 1; k < len(xs); k++ {
+		n1, n2 := float64(k), float64(len(xs)-k)
+		s1, s2 := prefix[k], prefix[len(xs)]-prefix[k]
+		q1, q2 := prefix2[k], prefix2[len(xs)]-prefix2[k]
+		cost := (q1 - s1*s1/n1) + (q2 - s2*s2/n2)
+		if cost < bestCost {
+			bestCost, best = cost, k
+		}
+	}
+	return Threshold((xs[best-1] + xs[best]) / 2)
+}
+
+// Mode returns the most frequent value of xs, breaking ties toward the
+// smaller value. It returns (0, false) for an empty input.
+func Mode(xs []int) (int, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	counts := make(map[int]int, len(xs))
+	for _, x := range xs {
+		counts[x]++
+	}
+	bestV, bestC := 0, -1
+	for v, c := range counts {
+		if c > bestC || (c == bestC && v < bestV) {
+			bestV, bestC = v, c
+		}
+	}
+	return bestV, true
+}
+
+// MeanUint64 is a convenience mean over raw latency samples.
+func MeanUint64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson computes the sample correlation coefficient of two equal-length
+// series; it returns 0 for degenerate inputs (mismatched lengths, fewer
+// than two points, or zero variance).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	var sx, sy Running
+	sx.AddN(xs)
+	sy.AddN(ys)
+	mx, my := sx.Mean(), sy.Mean()
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+	}
+	den := sx.StdDev() * sy.StdDev() * float64(len(xs)-1)
+	if den == 0 {
+		return 0
+	}
+	return cov / den
+}

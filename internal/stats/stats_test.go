@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if got := r.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if got := r.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v", got)
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var whole, left, right Running
+		for _, x := range a {
+			clean := math.Mod(x, 1e6)
+			if math.IsNaN(clean) {
+				clean = 0
+			}
+			whole.Add(clean)
+			left.Add(clean)
+		}
+		for _, x := range b {
+			clean := math.Mod(x, 1e6)
+			if math.IsNaN(clean) {
+				clean = 0
+			}
+			whole.Add(clean)
+			right.Add(clean)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-whole.Mean()) < 1e-6*(1+math.Abs(whole.Mean())) &&
+			math.Abs(left.Variance()-whole.Variance()) < 1e-4*(1+whole.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTSeparatesDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b Running
+	for i := 0; i < 2000; i++ {
+		a.Add(10 + rng.NormFloat64())
+		b.Add(10.5 + rng.NormFloat64())
+	}
+	tv, df := WelchT(a, b)
+	if tv > -TTestThreshold {
+		t.Fatalf("t = %v, want strongly negative", tv)
+	}
+	if df < 1000 {
+		t.Fatalf("df = %v suspiciously small", df)
+	}
+}
+
+func TestWelchTNullHoversNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b Running
+	for i := 0; i < 5000; i++ {
+		a.Add(rng.NormFloat64())
+		b.Add(rng.NormFloat64())
+	}
+	tv, _ := WelchT(a, b)
+	if math.Abs(tv) > TTestThreshold {
+		t.Fatalf("null-hypothesis t = %v crossed the leakage threshold", tv)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	var a, b Running
+	if tv, df := WelchT(a, b); tv != 0 || df != 0 {
+		t.Fatal("empty samples must give 0,0")
+	}
+	a.Add(1)
+	a.Add(1)
+	b.Add(1)
+	b.Add(1)
+	if tv, _ := WelchT(a, b); tv != 0 {
+		t.Fatalf("zero-variance equal means gave t=%v", tv)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(5) // bucket 0
+	}
+	for i := 0; i < 50; i++ {
+		h.Add(95) // bucket 9
+	}
+	h.Add(-3)
+	h.Add(200)
+	if h.Count() != 102 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p := h.Percentile(25); p != 5 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if p := h.Percentile(75); p != 95 {
+		t.Fatalf("p75 = %v", p)
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}
+
+func TestSuccessRate(t *testing.T) {
+	var s SuccessRate
+	if s.Rate() != 0 {
+		t.Fatal("empty rate nonzero")
+	}
+	for i := 0; i < 97; i++ {
+		s.Record(true)
+	}
+	for i := 0; i < 3; i++ {
+		s.Record(false)
+	}
+	if s.Percent() != 97 {
+		t.Fatalf("percent = %v", s.Percent())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	thr := Threshold(120)
+	if !thr.Hit(80) || thr.Hit(200) || thr.Hit(120) {
+		t.Fatal("threshold classification wrong")
+	}
+}
+
+func TestOtsuThresholdSeparatesBimodal(t *testing.T) {
+	var xs []uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		xs = append(xs, uint64(40+rng.Intn(20)))  // hits
+		xs = append(xs, uint64(200+rng.Intn(40))) // misses
+	}
+	thr := OtsuThreshold(xs)
+	if thr < 60 || thr > 200 {
+		t.Fatalf("threshold %v outside the gap", thr)
+	}
+}
+
+func TestOtsuDegenerate(t *testing.T) {
+	if OtsuThreshold(nil) != 0 {
+		t.Fatal("nil input")
+	}
+	if OtsuThreshold([]uint64{5}) != 0 {
+		t.Fatal("single sample")
+	}
+}
+
+func TestMode(t *testing.T) {
+	if _, ok := Mode(nil); ok {
+		t.Fatal("mode of empty")
+	}
+	if v, _ := Mode([]int{3, 1, 3, 2, 3, 1}); v != 3 {
+		t.Fatalf("mode = %d", v)
+	}
+	if v, _ := Mode([]int{2, 1}); v != 1 {
+		t.Fatalf("tie-break mode = %d, want smaller value", v)
+	}
+}
+
+func TestMeanUint64(t *testing.T) {
+	if MeanUint64(nil) != 0 {
+		t.Fatal("mean of empty")
+	}
+	if got := MeanUint64([]uint64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); got < 0.999 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); got > -0.999 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("length mismatch not zero")
+	}
+	if Pearson([]float64{5, 5, 5}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("zero variance not zero")
+	}
+	rng := rand.New(rand.NewSource(9))
+	var a, b []float64
+	for i := 0; i < 3000; i++ {
+		a = append(a, rng.NormFloat64())
+		b = append(b, rng.NormFloat64())
+	}
+	if r := Pearson(a, b); math.Abs(r) > 0.1 {
+		t.Fatalf("independent series correlate at %v", r)
+	}
+}

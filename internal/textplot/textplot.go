@@ -1,0 +1,129 @@
+// Package textplot renders the small terminal visualisations the
+// afterimage binaries share: horizontal bars, hit/miss timelines, bit
+// strings, and aligned tables. Everything returns plain strings so output
+// stays testable.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar renders a horizontal bar scaled so that max fills width runes.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Bits renders a boolean slice as a 0/1 string.
+func Bits(bs []bool) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Timeline renders a status sequence: '.' for true (e.g. prefetcher still
+// triggered) and 'X' for false.
+func Timeline(status []bool) string {
+	out := make([]byte, len(status))
+	for i, s := range status {
+		if s {
+			out[i] = '.'
+		} else {
+			out[i] = 'X'
+		}
+	}
+	return string(out)
+}
+
+// Survival renders the Figure 8-style per-index survival string: '^' for
+// surviving entries, '.' for evicted ones.
+func Survival(alive []bool) string {
+	out := make([]byte, len(alive))
+	for i, a := range alive {
+		if a {
+			out[i] = '^'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}
+
+// Series renders one labelled value-with-bar line, marking values beyond
+// the threshold with '*'.
+func Series(label string, v, max, threshold float64, width int) string {
+	mark := " "
+	if v > threshold {
+		mark = "*"
+	}
+	return fmt.Sprintf("%s %8.0f %s %s", label, v, mark, Bar(v, max, width))
+}
+
+// Table lays out rows with columns padded to the widest cell.
+type Table struct {
+	rows [][]string
+}
+
+// Row appends one row of cells.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Rowf appends one row built from format/value pairs.
+func (t *Table) Rowf(formats []string, values ...interface{}) {
+	cells := make([]string, len(formats))
+	for i, f := range formats {
+		if i < len(values) {
+			cells[i] = fmt.Sprintf(f, values[i])
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, r := range t.rows {
+		for c, cell := range r {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[c] - len(cell); c < len(r)-1 && pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// MaxFloat returns the maximum of xs (0 for empty input).
+func MaxFloat(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,76 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("half bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != strings.Repeat("#", 10) {
+		t.Fatal("bar not clamped")
+	}
+	if Bar(-1, 10, 10) != "" || Bar(5, 0, 10) != "" || Bar(5, 10, 0) != "" {
+		t.Fatal("degenerate bars not empty")
+	}
+}
+
+func TestBitsAndTimeline(t *testing.T) {
+	if Bits([]bool{true, false, true}) != "101" {
+		t.Fatal("Bits wrong")
+	}
+	if Timeline([]bool{true, false}) != ".X" {
+		t.Fatal("Timeline wrong")
+	}
+	if Survival([]bool{false, true}) != ".^" {
+		t.Fatal("Survival wrong")
+	}
+	if Bits(nil) != "" {
+		t.Fatal("empty bits")
+	}
+}
+
+func TestSeriesMarksThreshold(t *testing.T) {
+	s := Series("x", 150, 200, 120, 10)
+	if !strings.Contains(s, "*") {
+		t.Fatalf("threshold crossing unmarked: %q", s)
+	}
+	s = Series("x", 50, 200, 120, 10)
+	if strings.Contains(s, "*") {
+		t.Fatalf("below-threshold marked: %q", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.Row("a", "bbbb", "c")
+	tb.Row("aaaa", "b", "c")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The second column starts at the same offset in both rows.
+	if strings.Index(lines[0], "bbbb") != strings.Index(lines[1], "b") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRowf(t *testing.T) {
+	var tb Table
+	tb.Rowf([]string{"%s", "%.1f%%"}, "name", 12.345)
+	if !strings.Contains(tb.String(), "12.3%") {
+		t.Fatalf("Rowf output: %q", tb.String())
+	}
+}
+
+func TestMaxFloat(t *testing.T) {
+	if MaxFloat(nil) != 0 {
+		t.Fatal("empty max")
+	}
+	if MaxFloat([]float64{1, 9, 3}) != 9 {
+		t.Fatal("max wrong")
+	}
+}

@@ -1,0 +1,207 @@
+// Package tlb models a two-level data-TLB with PCID/ASID-tagged entries
+// (translations survive context switches, as the paper's threat model
+// assumes). Its role in AfterImage is the §4.3 first-touch rule: a load
+// whose page misses the whole TLB spends its access walking the page table
+// and does not update the IP-stride prefetcher; an access whose translation
+// is resident (in either level) trains or triggers it normally.
+package tlb
+
+import "afterimage/internal/mem"
+
+// Config shapes the TLB.
+type Config struct {
+	Entries     int
+	Ways        int
+	HitLatency  uint64 // extra cycles on a TLB hit (usually folded into L1)
+	WalkLatency uint64 // page-walk penalty on a miss
+
+	// STLBEntries/STLBWays add a unified second-level TLB: a first-level
+	// miss that hits the STLB costs STLBLatency instead of a full walk and
+	// still counts as "TLB resident" for the prefetcher's first-touch rule
+	// (the translation exists; no page-table walk installs state). Zero
+	// disables the STLB.
+	STLBEntries int
+	STLBWays    int
+	STLBLatency uint64
+}
+
+// DefaultConfig models a 64-entry, 4-way dTLB backed by a 1536-entry
+// 12-way STLB with a 9-cycle fill — the Coffee Lake arrangement.
+func DefaultConfig() Config {
+	return Config{
+		Entries: 64, Ways: 4, WalkLatency: 7,
+		STLBEntries: 1536, STLBWays: 12, STLBLatency: 9,
+	}
+}
+
+type entry struct {
+	asid  uint64
+	vpn   uint64
+	valid bool
+}
+
+type tlbSet struct {
+	entries []entry
+	stamps  []uint64 // LRU stamps per way
+	clock   uint64
+}
+
+// level is one set-associative translation array.
+type level struct {
+	sets    []*tlbSet
+	setMask uint64
+}
+
+func newLevel(entries, ways int) *level {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("tlb: entries must be a positive multiple of ways")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("tlb: set count must be a power of two")
+	}
+	l := &level{setMask: uint64(nsets - 1)}
+	l.sets = make([]*tlbSet, nsets)
+	for i := range l.sets {
+		l.sets[i] = &tlbSet{
+			entries: make([]entry, ways),
+			stamps:  make([]uint64, ways),
+		}
+	}
+	return l
+}
+
+func (l *level) setFor(vpn uint64) *tlbSet { return l.sets[vpn&l.setMask] }
+
+// touch looks up and refreshes an entry; it reports a hit.
+func (l *level) touch(asid, vpn uint64) bool {
+	s := l.setFor(vpn)
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].vpn == vpn && s.entries[i].asid == asid {
+			s.clock++
+			s.stamps[i] = s.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (l *level) contains(asid, vpn uint64) bool {
+	s := l.setFor(vpn)
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].vpn == vpn && s.entries[i].asid == asid {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *level) install(asid, vpn uint64) {
+	s := l.setFor(vpn)
+	victim := 0
+	for i := range s.entries {
+		if !s.entries[i].valid {
+			victim = i
+			goto place
+		}
+	}
+	for i := 1; i < len(s.entries); i++ {
+		if s.stamps[i] < s.stamps[victim] {
+			victim = i
+		}
+	}
+place:
+	s.clock++
+	s.entries[victim] = entry{asid: asid, vpn: vpn, valid: true}
+	s.stamps[victim] = s.clock
+}
+
+func (l *level) flush() {
+	for _, s := range l.sets {
+		for i := range s.entries {
+			s.entries[i].valid = false
+		}
+	}
+}
+
+// TLB is the two-level translation cache keyed by (ASID, virtual page
+// number). Entries from different address spaces coexist, competing only
+// for capacity — the PCID behaviour of modern kernels.
+type TLB struct {
+	cfg      Config
+	l1       *level
+	stlb     *level // nil when disabled
+	hits     uint64
+	misses   uint64
+	stlbHits uint64
+}
+
+// New builds a TLB; entries must divide evenly into ways at each level.
+func New(cfg Config) *TLB {
+	t := &TLB{cfg: cfg, l1: newLevel(cfg.Entries, cfg.Ways)}
+	if cfg.STLBEntries > 0 {
+		t.stlb = newLevel(cfg.STLBEntries, cfg.STLBWays)
+	}
+	return t
+}
+
+// Lookup touches the translation for v in the given address space. It
+// reports whether the translation was resident (dTLB or STLB) and the
+// added latency: 0-ish on a dTLB hit, the STLB fill cost on a dTLB miss
+// that the STLB covers, or the full walk penalty — which also installs the
+// entry at both levels.
+func (t *TLB) Lookup(asid uint64, v mem.VAddr) (hit bool, extraLatency uint64) {
+	vpn := v.PageNumber()
+	if t.l1.touch(asid, vpn) {
+		t.hits++
+		return true, t.cfg.HitLatency
+	}
+	if t.stlb != nil && t.stlb.touch(asid, vpn) {
+		t.stlbHits++
+		t.l1.install(asid, vpn)
+		return true, t.cfg.STLBLatency
+	}
+	t.misses++
+	t.l1.install(asid, vpn)
+	if t.stlb != nil {
+		t.stlb.install(asid, vpn)
+	}
+	return false, t.cfg.WalkLatency
+}
+
+// Contains reports residency at either level without touching replacement
+// state.
+func (t *TLB) Contains(asid uint64, v mem.VAddr) bool {
+	vpn := v.PageNumber()
+	if t.l1.contains(asid, vpn) {
+		return true
+	}
+	return t.stlb != nil && t.stlb.contains(asid, vpn)
+}
+
+// Warm pre-installs the translation for v at both levels without counting
+// a miss — the paper's threat model assumes victim pages are TLB-resident.
+func (t *TLB) Warm(asid uint64, v mem.VAddr) {
+	vpn := v.PageNumber()
+	if !t.l1.contains(asid, vpn) {
+		t.l1.install(asid, vpn)
+	}
+	if t.stlb != nil && !t.stlb.contains(asid, vpn) {
+		t.stlb.install(asid, vpn)
+	}
+}
+
+// FlushAll invalidates every translation at both levels (a full shootdown;
+// per-switch flushes are not used because entries are PCID-tagged).
+func (t *TLB) FlushAll() {
+	t.l1.flush()
+	if t.stlb != nil {
+		t.stlb.flush()
+	}
+}
+
+// Stats reports cumulative dTLB hits, full misses and STLB hits.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// STLBHits reports how many first-level misses the STLB covered.
+func (t *TLB) STLBHits() uint64 { return t.stlbHits }

@@ -1,0 +1,156 @@
+// Package trace generates synthetic SPEC CPU–like instruction traces for
+// the §8.3 mitigation evaluation. The paper replays 1B-instruction SPEC
+// CPU2006/2017 traces through ChampSim; we have no SPEC licence or traces,
+// so each workload is modelled by the properties that matter to an
+// IP-stride prefetcher study: how many concurrent strided load streams it
+// has, how much of its load mix is sequential, random, or pointer-chasing,
+// its working-set size, and its memory intensity. The generated record
+// streams are deterministic per seed.
+package trace
+
+import "math/rand"
+
+// Record is one memory instruction plus the count of non-memory
+// instructions preceding it (the ChampSim trace shape).
+type Record struct {
+	Gap  int    // non-memory instructions before this load
+	IP   uint64 // load instruction pointer
+	Addr uint64 // virtual byte address
+	// Dependent marks pointer-chase loads whose latency cannot overlap
+	// with other misses (MLP = 1).
+	Dependent bool
+}
+
+// Profile characterises one synthetic application.
+type Profile struct {
+	Name string
+	// StridedStreams is the number of concurrent constant-stride load
+	// streams (IP-stride prefetcher food).
+	StridedStreams int
+	// StrideLines is the stream stride in cache lines (> 4 so only the
+	// IP-stride prefetcher covers it).
+	StrideLines int
+	// SequentialFrac / RandomFrac / PointerFrac partition the non-strided
+	// loads: next-line streams, uniform random within the working set, and
+	// dependent pointer chases.
+	SequentialFrac, RandomFrac, PointerFrac float64
+	// StridedFrac is the share of loads belonging to the strided streams.
+	StridedFrac float64
+	// WorkingSetPages bounds the random-access footprint.
+	WorkingSetPages int
+	// LoadsPerKilo is the memory intensity (loads per 1000 instructions).
+	LoadsPerKilo int
+}
+
+// PrefetchSensitive reports whether the profile's load mix gives a stride
+// prefetcher real work (the paper's "top 8 prefetching-sensitive
+// applications" grouping).
+func (p Profile) PrefetchSensitive() bool { return p.StridedFrac >= 0.30 }
+
+// SPECLike returns 16 profiles spanning the SPEC-like behaviour space:
+// eight prefetch-sensitive (large strided share) and eight insensitive.
+func SPECLike() []Profile {
+	mk := func(name string, streams, strideLines int, strided, seq, rnd, ptr float64, ws, lpk int) Profile {
+		return Profile{
+			Name: name, StridedStreams: streams, StrideLines: strideLines,
+			StridedFrac: strided, SequentialFrac: seq, RandomFrac: rnd, PointerFrac: ptr,
+			WorkingSetPages: ws, LoadsPerKilo: lpk,
+		}
+	}
+	return []Profile{
+		// Prefetch-sensitive: regular, strided, memory-hungry.
+		mk("libquantum-like", 4, 7, 0.70, 0.15, 0.10, 0.05, 4096, 320),
+		mk("lbm-like", 6, 5, 0.60, 0.25, 0.10, 0.05, 8192, 350),
+		mk("milc-like", 4, 9, 0.55, 0.15, 0.20, 0.10, 8192, 300),
+		mk("leslie3d-like", 5, 7, 0.50, 0.20, 0.20, 0.10, 4096, 280),
+		mk("GemsFDTD-like", 6, 11, 0.55, 0.15, 0.20, 0.10, 8192, 310),
+		mk("bwaves-like", 4, 5, 0.60, 0.20, 0.15, 0.05, 8192, 330),
+		mk("sphinx3-like", 3, 7, 0.45, 0.20, 0.25, 0.10, 2048, 260),
+		mk("cactuBSSN-like", 5, 9, 0.50, 0.20, 0.20, 0.10, 8192, 290),
+		// Prefetch-insensitive: irregular, latency-bound or compute-bound.
+		mk("mcf-like", 1, 7, 0.05, 0.05, 0.40, 0.50, 16384, 300),
+		mk("omnetpp-like", 1, 7, 0.05, 0.10, 0.45, 0.40, 16384, 250),
+		mk("gcc-like", 1, 7, 0.10, 0.20, 0.50, 0.20, 8192, 180),
+		mk("perlbench-like", 1, 7, 0.10, 0.25, 0.45, 0.20, 4096, 150),
+		mk("povray-like", 0, 7, 0.00, 0.30, 0.50, 0.20, 1024, 90),
+		mk("namd-like", 1, 7, 0.15, 0.30, 0.40, 0.15, 2048, 120),
+		mk("deepsjeng-like", 1, 7, 0.05, 0.15, 0.55, 0.25, 4096, 170),
+		mk("xalancbmk-like", 1, 7, 0.10, 0.15, 0.45, 0.30, 8192, 220),
+	}
+}
+
+// Generator emits a deterministic record stream for one profile.
+type Generator struct {
+	prof Profile
+	rng  *rand.Rand
+
+	strideCursors []uint64
+	seqCursor     uint64
+	ptrCursor     uint64
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(prof Profile, seed int64) *Generator {
+	g := &Generator{prof: prof, rng: rand.New(rand.NewSource(seed))}
+	g.strideCursors = make([]uint64, prof.StridedStreams)
+	for i := range g.strideCursors {
+		// Each stream starts on its own region, far apart.
+		g.strideCursors[i] = uint64(0x1000_0000 + i*0x40_0000)
+	}
+	g.seqCursor = 0x4000_0000
+	g.ptrCursor = 0x8000_0000
+	return g
+}
+
+const lineSize = 64
+
+// Next produces the next record.
+func (g *Generator) Next() Record {
+	p := g.prof
+	gap := 1000/p.LoadsPerKilo - 1
+	if gap < 0 {
+		gap = 0
+	}
+	r := Record{Gap: gap}
+	x := g.rng.Float64()
+	switch {
+	case p.StridedStreams > 0 && x < p.StridedFrac:
+		i := g.rng.Intn(p.StridedStreams)
+		g.strideCursors[i] += uint64(p.StrideLines * lineSize)
+		// Wrap each stream within a 1 MiB region so pages are revisited.
+		base := uint64(0x1000_0000 + i*0x40_0000)
+		if g.strideCursors[i] > base+1<<20 {
+			g.strideCursors[i] = base
+		}
+		r.IP = 0x400100 + uint64(i)*0x30 // one IP per stream
+		r.Addr = g.strideCursors[i]
+	case x < p.StridedFrac+p.SequentialFrac:
+		g.seqCursor += lineSize
+		if g.seqCursor > 0x4000_0000+1<<20 {
+			g.seqCursor = 0x4000_0000
+		}
+		r.IP = 0x400800
+		r.Addr = g.seqCursor
+	case x < p.StridedFrac+p.SequentialFrac+p.RandomFrac:
+		page := uint64(g.rng.Intn(p.WorkingSetPages))
+		r.IP = 0x400900 + uint64(g.rng.Intn(16))*0x10
+		r.Addr = 0x6000_0000 + page*4096 + uint64(g.rng.Intn(64))*lineSize
+	default:
+		// Pointer chase: serially dependent, random target.
+		page := uint64(g.rng.Intn(p.WorkingSetPages))
+		g.ptrCursor = 0x8000_0000 + page*4096 + uint64(g.rng.Intn(64))*lineSize
+		r.IP = 0x400A00
+		r.Addr = g.ptrCursor
+		r.Dependent = true
+	}
+	return r
+}
+
+// Generate materialises n records.
+func (g *Generator) Generate(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import "testing"
+
+func TestSPECLikeSplit(t *testing.T) {
+	profiles := SPECLike()
+	if len(profiles) != 16 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	sensitive := 0
+	names := map[string]bool{}
+	for _, p := range profiles {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.PrefetchSensitive() {
+			sensitive++
+		}
+		total := p.StridedFrac + p.SequentialFrac + p.RandomFrac + p.PointerFrac
+		if total < 0.99 || total > 1.01 {
+			t.Fatalf("%s: load mix sums to %v", p.Name, total)
+		}
+		if p.LoadsPerKilo <= 0 || p.WorkingSetPages <= 0 {
+			t.Fatalf("%s: degenerate intensity", p.Name)
+		}
+	}
+	if sensitive != 8 {
+		t.Fatalf("%d prefetch-sensitive profiles, want 8", sensitive)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := SPECLike()[0]
+	a := NewGenerator(p, 42).Generate(1000)
+	b := NewGenerator(p, 42).Generate(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := NewGenerator(p, 43).Generate(1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestStridedStreamsAreStrided(t *testing.T) {
+	p := Profile{
+		Name: "pure-stride", StridedStreams: 1, StrideLines: 7,
+		StridedFrac: 1.0, WorkingSetPages: 64, LoadsPerKilo: 500,
+	}
+	recs := NewGenerator(p, 7).Generate(100)
+	for i := 1; i < len(recs); i++ {
+		d := int64(recs[i].Addr) - int64(recs[i-1].Addr)
+		if d != 7*64 && d >= 0 { // wrap produces one negative jump
+			t.Fatalf("record %d: delta %d, want %d", i, d, 7*64)
+		}
+	}
+}
+
+func TestPointerLoadsAreDependent(t *testing.T) {
+	p := Profile{
+		Name: "pure-chase", PointerFrac: 1.0,
+		WorkingSetPages: 64, LoadsPerKilo: 100,
+	}
+	for _, r := range NewGenerator(p, 9).Generate(50) {
+		if !r.Dependent {
+			t.Fatal("pointer-chase record not marked dependent")
+		}
+	}
+}
+
+func TestGapMatchesIntensity(t *testing.T) {
+	p := SPECLike()[0]
+	r := NewGenerator(p, 1).Next()
+	want := 1000/p.LoadsPerKilo - 1
+	if r.Gap != want {
+		t.Fatalf("gap = %d, want %d", r.Gap, want)
+	}
+}

@@ -1,0 +1,75 @@
+package victim
+
+import (
+	"afterimage/internal/aes"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// AESEncryptor is the §6.3 companion victim: an OpenSSL-style AES-128
+// encryption whose S-box lookups go through a 256-byte table in memory.
+// The paper notes that "OpenSSL-AES can also be attacked using the same
+// attack flow" — AfterImage tracks *when* the S-box loads of the key
+// schedule and of each encryption run happen, which is the timing input
+// the Figure 16 power attack needs.
+type AESEncryptor struct {
+	// IPSBox is the S-box lookup load IP (one hot load in the inner loop).
+	IPSBox uint64
+	// Table is the in-memory S-box (4 cache lines).
+	Table *mem.Mapping
+	// Key is the secret key.
+	Key []byte
+	// IdleBeforeExpand / IdleBeforeEncrypt shape the timeline in
+	// scheduling slots, like the RSA victim of Figure 15.
+	IdleBeforeExpand, IdleBeforeEncrypt int
+
+	keys [][16]byte
+}
+
+// NewAESEncryptor allocates the table and fixes the demo key.
+func NewAESEncryptor(env *sim.Env) *AESEncryptor {
+	return &AESEncryptor{
+		IPSBox: 0x0811_7c42, // low 8 bits 0x42
+		Table:  env.Mmap(mem.PageSize, mem.MapLocked),
+		Key: []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+			0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c},
+		IdleBeforeExpand:  5,
+		IdleBeforeEncrypt: 5,
+	}
+}
+
+// hook issues the simulated table load for one S-box lookup.
+func (v *AESEncryptor) hook(env *sim.Env) aes.SBoxHook {
+	return func(phase string, idx int, in byte) {
+		env.Load(v.IPSBox, v.Table.Base+mem.VAddr(in))
+	}
+}
+
+// Run executes idle / key-expansion / idle / one block encryption, yielding
+// once per slot so an attacker can sample the prefetcher status. It returns
+// the ciphertext.
+func (v *AESEncryptor) Run(env *sim.Env, plaintext []byte) ([aes.BlockSize]byte, error) {
+	env.WarmTLB(v.Table.Base)
+	for i := 0; i < v.IdleBeforeExpand; i++ {
+		env.Sleep(800)
+		env.Yield()
+	}
+	keys, err := aes.ExpandKey(v.Key, v.hook(env))
+	if err != nil {
+		return [aes.BlockSize]byte{}, err
+	}
+	v.keys = keys
+	env.Yield()
+	for i := 0; i < v.IdleBeforeEncrypt; i++ {
+		env.Sleep(800)
+		env.Yield()
+	}
+	ct, err := aes.EncryptBlock(v.keys, plaintext, v.hook(env))
+	env.Yield()
+	return ct, err
+}
+
+// Slots reports how many scheduling slots one Run spans.
+func (v *AESEncryptor) Slots() int {
+	return v.IdleBeforeExpand + 1 + v.IdleBeforeEncrypt + 1
+}

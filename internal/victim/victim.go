@@ -1,0 +1,157 @@
+// Package victim implements the vulnerable programs the paper attacks: the
+// branch-dependent-load user victim of Listing 1, the custom kernel syscall
+// of Listing 7, the SGX enclave of Listing 8, the timing-constant
+// Montgomery-ladder RSA engine of Figures 3/4 (§6.2), and the OpenSSL-style
+// RSA decryption whose load timing Figure 15 tracks (§6.3).
+package victim
+
+import (
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// Branchy is the Listing 1 victim: a secret decides which of two load
+// instructions executes. The two loads sit at different IPs (if-path and
+// else-path), which is all AfterImage needs — even when both paths perform
+// the same number of loads (timing-constant style).
+type Branchy struct {
+	// IPIf and IPElse are the load IPs of the two paths; the attacker's
+	// gadget matches their low 8 bits.
+	IPIf, IPElse uint64
+	// Array is the buffer both paths load from (a shared page for
+	// Flush+Reload, any page for Prime+Probe).
+	Array mem.VAddr
+	// Line is the array line index the victim dereferences.
+	Line int
+}
+
+// NewBranchy places the victim's loads at the canonical demo IPs.
+func NewBranchy(array mem.VAddr) *Branchy {
+	return &Branchy{
+		IPIf:   0x0804_8634, // low 8 bits 0x34
+		IPElse: 0x0804_86c2, // low 8 bits 0xC2
+		Array:  array,
+		Line:   3,
+	}
+}
+
+// Step executes one secret-dependent branch: exactly one load, from the
+// if-path IP when secret is true, from the else-path IP otherwise.
+func (v *Branchy) Step(env *sim.Env, secret bool) {
+	addr := v.Array + mem.VAddr(v.Line*mem.LineSize)
+	env.WarmTLB(addr)
+	env.Sleep(30) // branch resolution and surrounding code
+	if secret {
+		env.Load(v.IPIf, addr)
+	} else {
+		env.Load(v.IPElse, addr)
+	}
+	env.Sleep(30)
+}
+
+// Run executes one Step per secret bit, yielding to the attacker between
+// branches (the paper's sched_yield synchronisation).
+func (v *Branchy) Run(env *sim.Env, secret []bool) {
+	for _, s := range secret {
+		v.Step(env, s)
+		env.Yield()
+	}
+}
+
+// KernelSecret is the Listing 7 victim: a custom syscall whose kernel-side
+// secret guards a load into user-shared memory.
+type KernelSecret struct {
+	// SyscallNum is the installed syscall number (333 in the artifact).
+	SyscallNum int
+	// LoadIP is the kernel load's instruction pointer; only its low 8 bits
+	// matter and KASLR cannot change the low 12 (§5.2).
+	LoadIP uint64
+	// Line is the shared-memory line the kernel dereferences.
+	Line int
+	// Secrets yields the kernel's secret for each invocation, in order
+	// (ground truth for evaluation).
+	Secrets []bool
+	calls   int
+}
+
+// NewKernelSecret installs the syscall on the machine. The user passes the
+// shared buffer's address as the syscall argument, exactly as
+// vulnerable_syscall(memory_space) does.
+func NewKernelSecret(m *sim.Machine, num int, secrets []bool) *KernelSecret {
+	v := &KernelSecret{
+		SyscallNum: num,
+		LoadIP:     0xffffffff8112_34a7, // low 8 bits 0xA7
+		Line:       5,
+		Secrets:    secrets,
+	}
+	m.RegisterSyscall(num, v.handler)
+	return v
+}
+
+// Calls reports how many times the syscall has run.
+func (v *KernelSecret) Calls() int { return v.calls }
+
+func (v *KernelSecret) handler(e *sim.Env, args ...uint64) uint64 {
+	if len(args) < 1 {
+		return ^uint64(0)
+	}
+	secret := v.Secrets[v.calls%len(v.Secrets)]
+	v.calls++
+	// Kernel prologue: a couple of unrelated kernel-data loads.
+	e.Load(0xffffffff8100_0011, mem.VAddr(0)+kernelScratch(e))
+	e.Sleep(120)
+	if secret {
+		addr := mem.VAddr(args[0]) + mem.VAddr(v.Line*mem.LineSize)
+		e.LoadUser(v.LoadIP, addr)
+		return 1
+	}
+	return 0
+}
+
+// kernelScratch returns a kernel-owned address for incidental handler loads.
+func kernelScratch(e *sim.Env) mem.VAddr {
+	return e.Machine().Kernel.AS.Mappings()[0].Base
+}
+
+// SGXSecret is the Listing 8 enclave: the secret selects a stride (3 or 5
+// lines) and the enclave walks the untrusted buffer with it, training the
+// shared prefetcher that survives EEXIT (§4.6, §5.4).
+type SGXSecret struct {
+	// LoadIP is the in-enclave load IP.
+	LoadIP uint64
+	// Buffer is the untrusted-zone buffer passed into the ECALL.
+	Buffer mem.VAddr
+	// StrideTaken and StrideNotTaken are the two strides (5 and 3 in §7.2).
+	StrideTaken, StrideNotTaken int64
+	// Iterations is the in-enclave loop length (8 in Listing 8).
+	Iterations int
+}
+
+// NewSGXSecret mirrors the PoC parameters.
+func NewSGXSecret(buffer mem.VAddr) *SGXSecret {
+	return &SGXSecret{
+		LoadIP:         0x7ff0_0000_2143,
+		Buffer:         buffer,
+		StrideTaken:    5,
+		StrideNotTaken: 3,
+		Iterations:     8,
+	}
+}
+
+// ECall runs the enclave body with the given secret.
+func (v *SGXSecret) ECall(env *sim.Env, secret bool) {
+	env.EnclaveCall(func(e *sim.Env) {
+		stride := v.StrideNotTaken
+		if secret {
+			stride = v.StrideTaken
+		}
+		e.WarmTLB(v.Buffer)
+		for i := 0; i < v.Iterations; i++ {
+			off := int64(i) * stride * mem.LineSize
+			if off+stride*mem.LineSize >= mem.PageSize {
+				break // stay within the 4 KiB ECALL buffer
+			}
+			e.Load(v.LoadIP, v.Buffer+mem.VAddr(off))
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package afterimage
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Report is the machine-readable summary of a full reproduction run: every
+// headline quantity of EXPERIMENTS.md in one JSON-serialisable structure,
+// so regressions in the model show up as diffs.
+type Report struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Model  string `json:"model"`
+
+	ReverseEngineering struct {
+		Fig6BoundaryBits     int  `json:"fig6_boundary_bits"`
+		Fig7PolicyExact      bool `json:"fig7_policy_exact"`
+		Table1RowsMatching   int  `json:"table1_rows_matching"`
+		Fig8aEntries         int  `json:"fig8a_entries"`
+		Fig8bBitPLRUMatching bool `json:"fig8b_bitplru_matching"`
+		SGXRetention         bool `json:"sgx_retention"`
+	} `json:"reverse_engineering"`
+
+	Attacks struct {
+		V1ThreadSuccess  float64 `json:"v1_thread_success"`
+		V1ProcessSuccess float64 `json:"v1_process_success"`
+		V2KernelSuccess  float64 `json:"v2_kernel_success"`
+		SGXSuccess       float64 `json:"sgx_success"`
+		IPSearchFound    bool    `json:"ip_search_found"`
+	} `json:"attacks"`
+
+	Covert struct {
+		SingleEntryBps   float64 `json:"single_entry_bps"`
+		SingleEntryError float64 `json:"single_entry_error"`
+		MaxEntriesBps    float64 `json:"max_entries_bps"`
+		MaxEntriesError  float64 `json:"max_entries_error"`
+	} `json:"covert"`
+
+	RSA struct {
+		BitSuccess        float64 `json:"bit_success"`
+		PSCObservation    float64 `json:"psc_observation_accuracy"`
+		Minutes1024Budget float64 `json:"minutes_1024_budget"`
+	} `json:"rsa"`
+
+	Power struct {
+		AlignedFinalT float64 `json:"aligned_final_t"`
+		RandomFinalT  float64 `json:"random_final_t"`
+	} `json:"power"`
+
+	Mitigation struct {
+		Top8Slowdown    float64 `json:"top8_slowdown"`
+		OverallSlowdown float64 `json:"overall_slowdown"`
+		AnalyticBound   float64 `json:"analytic_bound"`
+	} `json:"mitigation"`
+
+	Comparison struct {
+		BPUCycles        uint64  `json:"bpu_cycles"`
+		PrefetcherCycles uint64  `json:"prefetcher_cycles"`
+		Advantage        float64 `json:"advantage"`
+	} `json:"comparison"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// ReportOptions scales the report's sampling effort.
+type ReportOptions struct {
+	Seed int64
+	// Rounds per success-rate estimate (the paper uses 200).
+	Rounds int
+	// MitigationInstructions per traced application.
+	MitigationInstructions int
+}
+
+// FullReport runs the complete reproduction suite and returns the report.
+// Expensive, deterministic per seed.
+func FullReport(opts ReportOptions) (*Report, error) {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 100
+	}
+	if opts.MitigationInstructions <= 0 {
+		opts.MitigationInstructions = 120_000
+	}
+	start := time.Now()
+	r := &Report{Schema: "afterimage-report/1", Seed: opts.Seed}
+
+	// Reverse engineering (quiet machines).
+	q := NewLab(Options{Seed: opts.Seed, Quiet: true})
+	r.Model = q.ModelName()
+	boundary := -1
+	for _, p := range q.RevFig6() {
+		if p.Triggered {
+			boundary = p.MatchedBits
+			break
+		}
+	}
+	r.ReverseEngineering.Fig6BoundaryBits = boundary
+
+	a, b := q.RevFig7(true), q.RevFig7(false)
+	r.ReverseEngineering.Fig7PolicyExact =
+		len(a) == 3 && a[0].OldStrideFired && !a[0].NewStrideFired &&
+			!a[1].OldStrideFired && !a[1].NewStrideFired &&
+			!a[2].OldStrideFired && a[2].NewStrideFired &&
+			len(b) == 2 && b[0].OldStrideFired && !b[1].OldStrideFired && b[1].NewStrideFired
+
+	for _, row := range q.RevTable1() {
+		want := row.Pool == "recl" || row.PageOffset == 1
+		if row.Prefetchable == want {
+			r.ReverseEngineering.Table1RowsMatching++
+		}
+	}
+	alive := 0
+	for _, p := range q.RevFig8a(26) {
+		if p.Triggered {
+			alive++
+		}
+	}
+	r.ReverseEngineering.Fig8aEntries = alive
+	match8b := true
+	for _, p := range q.RevFig8b() {
+		if p.Triggered != (p.Index < 8 || p.Index >= 16) {
+			match8b = false
+		}
+	}
+	r.ReverseEngineering.Fig8bBitPLRUMatching = match8b
+	r.ReverseEngineering.SGXRetention, _ = q.SGXRetention()
+
+	// Attack success rates (noisy machines, fresh lab per experiment).
+	r.Attacks.V1ThreadSuccess = NewLab(Options{Seed: opts.Seed}).
+		RunVariant1(V1Options{Bits: opts.Rounds}).SuccessRate()
+	r.Attacks.V1ProcessSuccess = NewLab(Options{Seed: opts.Seed + 1}).
+		RunVariant1(V1Options{Bits: opts.Rounds, CrossProcess: true}).SuccessRate()
+	r.Attacks.V2KernelSuccess = NewLab(Options{Seed: opts.Seed + 2}).
+		RunVariant2(V2Options{Bits: opts.Rounds}).SuccessRate()
+	r.Attacks.SGXSuccess = NewLab(Options{Seed: opts.Seed + 3}).
+		RunSGX(opts.Rounds, nil).SuccessRate()
+	search := NewLab(Options{Seed: opts.Seed + 4, Quiet: true}).
+		RunVariant2(V2Options{Bits: 4, UseIPSearch: true})
+	r.Attacks.IPSearchFound = search.IPSearched && search.FoundIPLow8 == 0xA7
+
+	// Covert channel.
+	perCycle := 1.0 / 3e9
+	c1 := NewLab(Options{Seed: opts.Seed + 5}).
+		RunCovertChannel(CovertOptions{Message: make([]byte, 128)})
+	r.Covert.SingleEntryBps = c1.RawBps(perCycle)
+	r.Covert.SingleEntryError = c1.ErrorRate()
+	c24 := NewLab(Options{Seed: opts.Seed + 6}).
+		RunCovertChannel(CovertOptions{Message: make([]byte, 128), Entries: 24})
+	r.Covert.MaxEntriesBps = c24.RawBps(perCycle)
+	r.Covert.MaxEntriesError = c24.ErrorRate()
+
+	// RSA.
+	rsaLab := NewLab(Options{Seed: opts.Seed + 7})
+	rr := rsaLab.ExtractRSAKey(RSAOptions{KeyBits: 64, ItersPerBit: 5})
+	r.RSA.BitSuccess = rr.BitSuccessRate()
+	r.RSA.PSCObservation = rr.PSCSuccessRate()
+	perBit := rsaLab.Seconds(rr.Cycles) / float64(rr.BitsTotal)
+	r.RSA.Minutes1024Budget = perBit * 1024 / 60
+
+	// Power.
+	r.Power.AlignedFinalT = RunTTest(true, opts.Seed).FinalT()
+	r.Power.RandomFinalT = RunTTest(false, opts.Seed).FinalT()
+
+	// Mitigation.
+	mit, err := RunMitigationStudy(MitigationOptions{
+		Instructions: opts.MitigationInstructions, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mitigation study: %w", err)
+	}
+	r.Mitigation.Top8Slowdown = mit.Top8Slowdown
+	r.Mitigation.OverallSlowdown = mit.OverallSlowdown
+	r.Mitigation.AnalyticBound = mit.AnalyticUpperBound
+
+	// Comparison.
+	cmp := CompareTrainingCosts(opts.Seed)
+	r.Comparison.BPUCycles = cmp.BPUCycles
+	r.Comparison.PrefetcherCycles = cmp.PrefetcherCycles
+	r.Comparison.Advantage = cmp.Advantage()
+
+	r.ElapsedSeconds = time.Since(start).Seconds()
+	return r, nil
+}
+
+// JSON renders the report with stable indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// jsonUnmarshal is a seam for tests (and avoids importing encoding/json in
+// test files).
+func jsonUnmarshal(b []byte, v interface{}) error { return json.Unmarshal(b, v) }

@@ -1,0 +1,252 @@
+package afterimage
+
+import (
+	"afterimage/internal/core"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// This file reproduces the §4 reverse-engineering microbenchmarks. Each
+// experiment boots fresh quiet machines (one per data point, exactly like
+// the per-point runs behind the paper's figures) and reports the measured
+// access times the figures plot.
+
+const revengStride = 7 // lines, as in the paper's examples
+
+// revLab builds one quiet machine for a microbenchmark point.
+func (l *Lab) revLab(point int64) (*sim.Machine, *sim.Env) {
+	cfg := sim.Quiet(sim.CoffeeLake(l.opts.Seed + point*7919))
+	if l.opts.Model == Haswell {
+		cfg = sim.Quiet(sim.Haswell(l.opts.Seed + point*7919))
+	}
+	m := sim.NewMachine(cfg)
+	return m, m.Direct(m.NewProcess("bench"))
+}
+
+// Fig6Point is one bar of Figure 6.
+type Fig6Point struct {
+	MatchedBits int
+	AccessTime  uint64
+	Triggered   bool
+}
+
+// RevFig6 reproduces Figure 6: train IP_1, probe with an IP_2 sharing
+// exactly n low bits, and time the would-be prefetch target. The prefetcher
+// triggers iff n ≥ 8 (§4.1).
+func (l *Lab) RevFig6() []Fig6Point {
+	out := make([]Fig6Point, 0, 17)
+	ip1 := uint64(0x0041_D2B5)
+	for n := 0; n <= 16; n++ {
+		m, env := l.revLab(int64(n))
+		array := env.Mmap(mem.PageSize, mem.MapLocked)
+		env.WarmTLB(array.Base)
+		for i := 0; i < 4; i++ {
+			env.Load(ip1, array.Base+mem.VAddr(i*revengStride*mem.LineSize))
+		}
+		ip2 := ip1 ^ (1 << uint(n)) // exactly n matching least-significant bits
+		r := 30                     // probe line
+		env.Load(ip2, array.Base+mem.VAddr(r*mem.LineSize))
+		target := array.Base + mem.VAddr((r+revengStride)*mem.LineSize)
+		t := env.TimeLoad(core.IPWithLow8(0x70_0000, core.ReloadIPLow8), target)
+		out = append(out, Fig6Point{MatchedBits: n, AccessTime: t, Triggered: t < env.HitThreshold()})
+		_ = m
+	}
+	return out
+}
+
+// Fig7Point describes the prefetcher's behaviour after tr2 iterations of
+// the second training phase (Listing 3).
+type Fig7Point struct {
+	SecondPhaseIters int
+	OldStrideFired   bool // st_1 target cached
+	NewStrideFired   bool // st_2 target cached
+}
+
+// RevFig7 reproduces Figure 7's trigger-policy experiment for both
+// scenarios: withOffset inserts a random jump between the phases (7a);
+// otherwise phase 2 starts exactly one new stride after phase 1 (7b).
+func (l *Lab) RevFig7(withOffset bool) []Fig7Point {
+	const st1, st2 = 7, 5 // lines, as in §4.2
+	var out []Fig7Point
+	maxIters := 3
+	if !withOffset {
+		maxIters = 2
+	}
+	for tr2 := 1; tr2 <= maxIters; tr2++ {
+		_, env := l.revLab(int64(100+tr2) + boolInt(withOffset)*10)
+		array := env.Mmap(mem.PageSize, mem.MapLocked)
+		env.WarmTLB(array.Base)
+		ip := uint64(0x0041_00A1)
+		// Phase 1: saturate with st_1.
+		last := 0
+		for i := 0; i < 4; i++ {
+			last = i * st1
+			env.Load(ip, array.Base+mem.VAddr(last*mem.LineSize))
+		}
+		// Phase 2 start: either a jump or the immediate next st_2 step.
+		start := last + st2
+		if withOffset {
+			start = 38 // an arbitrary distant line
+		}
+		cur := start
+		for i := 0; i < tr2; i++ {
+			if i > 0 {
+				cur += st2
+			}
+			env.Load(ip, array.Base+mem.VAddr(cur*mem.LineSize))
+		}
+		oldT := env.TimeLoad(core.IPWithLow8(0x70_0000, core.ReloadIPLow8), array.Base+mem.VAddr((cur+st1)*mem.LineSize))
+		newT := env.TimeLoad(core.IPWithLow8(0x71_0000, core.ReloadIPLow8), array.Base+mem.VAddr((cur+st2)*mem.LineSize))
+		out = append(out, Fig7Point{
+			SecondPhaseIters: tr2,
+			OldStrideFired:   oldT < env.HitThreshold(),
+			NewStrideFired:   newT < env.HitThreshold(),
+		})
+	}
+	return out
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	PageOffset    int
+	Pool          string // "recl" or "lock"
+	SharePhysical bool
+	Prefetchable  bool
+}
+
+// RevTable1 reproduces the §4.3 page-boundary experiment: train on one
+// page, touch a page `offset` pages away, and test whether the strided
+// target arrives — for the frame-aliasing reclaimable pool and the pinned
+// MAP_LOCKED pool.
+func (l *Lab) RevTable1() []Table1Row {
+	var out []Table1Row
+	for _, pool := range []mem.MapKind{mem.MapReclaimable, mem.MapLocked} {
+		for offset := 1; offset <= 4; offset++ {
+			_, env := l.revLab(int64(200 + offset + int(pool)*10))
+			array := env.Mmap(6*mem.PageSize, mem.MapLocked)
+			if pool == mem.MapReclaimable {
+				array = env.Mmap(6*mem.PageSize, mem.MapReclaimable)
+			}
+			ip := uint64(0x0041_00B7)
+			env.WarmTLB(array.Base)
+			for i := 0; i < 4; i++ {
+				env.Load(ip, array.Base+mem.VAddr(i*revengStride*mem.LineSize))
+			}
+			// Touch the offset page WITHOUT pre-warming its translation —
+			// the experiment's pages are first-touch (Listing 4).
+			probe := array.Base + mem.VAddr(offset*mem.PageSize)
+			env.Load(ip, probe)
+			target := probe + mem.VAddr(revengStride*mem.LineSize)
+			t := env.TimeLoad(core.IPWithLow8(0x70_0000, core.ReloadIPLow8), target)
+
+			as := env.Process().AS
+			p0, _ := as.Translate(array.Base)
+			pN, _ := as.Translate(probe)
+			name := "lock"
+			if pool == mem.MapReclaimable {
+				name = "recl"
+			}
+			out = append(out, Table1Row{
+				PageOffset:    offset,
+				Pool:          name,
+				SharePhysical: p0.Frame() == pN.Frame(),
+				Prefetchable:  t < env.HitThreshold(),
+			})
+		}
+	}
+	return out
+}
+
+// Fig8Point is one bar of Figure 8: whether the i-th trained IP still
+// triggers after the full schedule.
+type Fig8Point struct {
+	Index      int
+	AccessTime uint64
+	Triggered  bool
+}
+
+// fig8Schedule trains IPs per the given plan on a fresh machine and
+// measures point i. Each measurement gets its own machine, as in the
+// per-point runs behind Figure 8 (measuring an evicted IP would itself
+// allocate an entry).
+func (l *Lab) fig8Point(seedOff int64, train func(env *sim.Env, pages []*mem.Mapping, ips []uint64), nIPs, i int) Fig8Point {
+	_, env := l.revLab(300 + seedOff)
+	ips := make([]uint64, nIPs)
+	pages := make([]*mem.Mapping, nIPs)
+	for k := 0; k < nIPs; k++ {
+		ips[k] = 0x0041_0000 + uint64(k)
+		pages[k] = env.Mmap(mem.PageSize, mem.MapLocked)
+		env.WarmTLB(pages[k].Base)
+	}
+	train(env, pages, ips)
+	// The many training pages may have evicted this page's dTLB entry;
+	// re-warm it so the first-touch rule cannot mask the measurement (the
+	// paper's STLB is large enough that this never bites on real parts).
+	env.WarmTLB(pages[i].Base)
+	env.Load(ips[i], pages[i].Base+mem.VAddr(45*mem.LineSize))
+	target := pages[i].Base + mem.VAddr((45+revengStride)*mem.LineSize)
+	t := env.TimeLoad(core.IPWithLow8(0x70_0000, core.ReloadIPLow8), target)
+	return Fig8Point{Index: i, AccessTime: t, Triggered: t < env.HitThreshold()}
+}
+
+func trainAll(env *sim.Env, pages []*mem.Mapping, ips []uint64, from, to, rounds, offLines int) {
+	for k := from; k < to; k++ {
+		for r := 0; r < rounds; r++ {
+			off := (r*revengStride + offLines) * mem.LineSize
+			env.Load(ips[k], pages[k].Base+mem.VAddr(off))
+		}
+	}
+}
+
+// RevFig8a reproduces Figure 8a for a given number of trained IPs (the
+// paper plots 26 and 30): the first n−24 IPs no longer trigger.
+func (l *Lab) RevFig8a(n int) []Fig8Point {
+	out := make([]Fig8Point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.fig8Point(int64(n*100+i), func(env *sim.Env, pages []*mem.Mapping, ips []uint64) {
+			trainAll(env, pages, ips, 0, n, 5, 0)
+		}, n, i))
+	}
+	return out
+}
+
+// RevFig8b reproduces Figure 8b: fill 24 entries, re-touch the first 8,
+// train 8 more — Bit-PLRU evicts positions 9–16.
+func (l *Lab) RevFig8b() []Fig8Point {
+	const total = 32
+	schedule := func(env *sim.Env, pages []*mem.Mapping, ips []uint64) {
+		trainAll(env, pages, ips, 0, 24, 5, 0)  // fill the table
+		trainAll(env, pages, ips, 0, 8, 5, 5)   // re-touch first 8
+		trainAll(env, pages, ips, 24, 32, 5, 0) // 8 fresh IPs
+	}
+	out := make([]Fig8Point, 0, 24)
+	for i := 0; i < 24; i++ {
+		out = append(out, l.fig8Point(int64(9000+i), schedule, total, i))
+	}
+	return out
+}
+
+// SGXRetention reproduces the §4.6 check: strided loads inside an enclave
+// train the prefetcher, and the prefetched line is still cached after the
+// enclave exits.
+func (l *Lab) SGXRetention() (prefetchedHit bool, accessTime uint64) {
+	_, env := l.revLab(400)
+	buf := env.Mmap(mem.PageSize, mem.MapLocked)
+	env.WarmTLB(buf.Base)
+	var last mem.VAddr
+	env.EnclaveCall(func(e *sim.Env) {
+		for i := 0; i < 6; i++ {
+			last = buf.Base + mem.VAddr(i*5*mem.LineSize)
+			e.Load(0x7ff0_0000_2143, last)
+		}
+	})
+	t := env.TimeLoad(core.IPWithLow8(0x70_0000, core.ReloadIPLow8), last+mem.VAddr(5*mem.LineSize))
+	return t < env.HitThreshold(), t
+}

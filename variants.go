@@ -1,0 +1,392 @@
+package afterimage
+
+import (
+	"fmt"
+
+	"afterimage/internal/core"
+	"afterimage/internal/evict"
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+	"afterimage/internal/victim"
+)
+
+// Backend selects the secret-extraction technique of Table 3.
+type Backend int
+
+// Extraction back-ends.
+const (
+	FlushReload Backend = iota // F+R
+	PrimeProbe                 // P+P
+	PSC                        // Prefetcher Status Checking
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case FlushReload:
+		return "Flush+Reload"
+	case PrimeProbe:
+		return "Prime+Probe"
+	case PSC:
+		return "PSC"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// V1Options configures the Variant 1 proof of concept (§5.1).
+type V1Options struct {
+	// Bits is the number of secret branch outcomes to leak (one per round).
+	Bits int
+	// Secret overrides the random secret when non-nil.
+	Secret []bool
+	// CrossProcess places attacker and victim in separate address spaces
+	// (the second §5.1 scenario); otherwise they share one (sandbox model).
+	CrossProcess bool
+	// Backend selects F+R (default) or P+P extraction.
+	Backend Backend
+	// Strides are the two trained line strides (if-path, else-path).
+	IfStride, ElseStride int64
+}
+
+func (o *V1Options) fill(l *Lab) {
+	if o.Bits <= 0 && o.Secret == nil {
+		o.Bits = 16
+	}
+	if o.Secret == nil {
+		o.Secret = l.randomBits(o.Bits)
+	}
+	o.Bits = len(o.Secret)
+	if o.IfStride == 0 {
+		o.IfStride = 7
+	}
+	if o.ElseStride == 0 {
+		o.ElseStride = 13
+	}
+}
+
+// LeakResult reports one control-flow-leak experiment.
+type LeakResult struct {
+	Secret   []bool
+	Inferred []bool
+	Correct  int
+	// Cycles is the simulated duration of the whole run.
+	Cycles uint64
+	// LastProbe carries the final round's per-line observation vector
+	// (reload latencies for F+R, probe deltas for P+P) for figure output.
+	LastProbe []int64
+}
+
+// SuccessRate is the per-bit leak accuracy.
+func (r LeakResult) SuccessRate() float64 {
+	if len(r.Secret) == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(len(r.Secret))
+}
+
+// RunVariant1 executes the §5.1 proof of concept and returns the per-bit
+// leak outcome (Figures 13a–c; success rates of §7.2). All three extraction
+// back-ends of Table 3 are available: Flush+Reload (default), Prime+Probe,
+// and the cache-primitive-free PSC.
+func (l *Lab) RunVariant1(opts V1Options) LeakResult {
+	opts.fill(l)
+	switch opts.Backend {
+	case PrimeProbe:
+		return l.runV1PrimeProbe(opts)
+	case PSC:
+		return l.runV1PSC(opts)
+	default:
+		return l.runV1FlushReload(opts)
+	}
+}
+
+// runV1PSC leaks the branch direction without any cache primitive: one PSC
+// chain per path; the chain whose entry the victim re-learned identifies
+// the taken direction (§6.1's standalone extraction applied to Variant 1).
+func (l *Lab) runV1PSC(opts V1Options) LeakResult {
+	m := l.m
+	attProc := m.NewProcess("attacker")
+	vicProc := attProc
+	if opts.CrossProcess {
+		vicProc = m.NewProcess("victim")
+	}
+	vicEnv := m.Direct(vicProc)
+	vicPage := vicEnv.Mmap(mem.PageSize, mem.MapLocked)
+	vic := victim.NewBranchy(vicPage.Base) // no shared memory needed
+
+	res := LeakResult{Secret: opts.Secret}
+	start := m.Now()
+	m.Spawn(attProc, "attacker", func(e *sim.Env) {
+		pscIf := core.NewPSC(e, core.IPWithLow8(0x40_0000, uint8(vic.IPIf)), 11, 128)
+		pscElse := core.NewPSC(e, core.IPWithLow8(0x41_0000, uint8(vic.IPElse)), 7, 128)
+		pscIf.Train(e, 4)
+		pscElse.Train(e, 4)
+		for range opts.Secret {
+			pscIf.Train(e, 3)
+			pscElse.Train(e, 3)
+			e.Yield()
+			ifTouched := !pscIf.Check(e)
+			elseTouched := !pscElse.Check(e)
+			// The victim executed exactly one path; when noise blurs both
+			// signals, prefer the if-path evidence.
+			res.Inferred = append(res.Inferred, ifTouched && !elseTouched || ifTouched && elseTouched)
+		}
+	})
+	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
+	m.Run()
+	res.Cycles = m.Now() - start
+	res.Correct = boolsEqual(res.Secret, res.Inferred)
+	return res
+}
+
+func (l *Lab) runV1FlushReload(opts V1Options) LeakResult {
+	m := l.m
+	attProc := m.NewProcess("attacker")
+	vicProc := attProc
+	if opts.CrossProcess {
+		vicProc = m.NewProcess("victim")
+	}
+	attEnv := m.Direct(attProc)
+	shared := attEnv.Mmap(mem.PageSize, mem.MapShared)
+	vicBase := shared.Base
+	if opts.CrossProcess {
+		vicBase = vicProc.AS.MapExisting(shared).Base
+	}
+	vic := victim.NewBranchy(vicBase)
+	fr := core.NewFlushReload()
+
+	res := LeakResult{Secret: opts.Secret}
+	start := m.Now()
+	m.Spawn(attProc, "attacker", func(e *sim.Env) {
+		g := core.MustNewGadget(e, []core.TrainEntry{
+			{IP: core.IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: opts.IfStride},
+			{IP: core.IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: opts.ElseStride},
+		})
+		for range opts.Secret {
+			g.Train(e, 4)
+			fr.FlushPage(e, shared.Base)
+			e.Yield()
+			lats, hits := fr.ReloadPage(e, shared.Base)
+			s, ok := core.DetectStride(hits, []int64{opts.IfStride, opts.ElseStride})
+			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
+			res.LastProbe = res.LastProbe[:0]
+			for _, lat := range lats {
+				res.LastProbe = append(res.LastProbe, int64(lat))
+			}
+		}
+	})
+	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
+	m.Run()
+	res.Cycles = m.Now() - start
+	res.Correct = boolsEqual(res.Secret, res.Inferred)
+	return res
+}
+
+func (l *Lab) runV1PrimeProbe(opts V1Options) LeakResult {
+	m := l.m
+	proc := m.NewProcess("shared-space") // P+P demo runs in one address space (§7.2, artifact A.4)
+	env := m.Direct(proc)
+	page := env.Mmap(mem.PageSize, mem.MapLocked)
+	vic := victim.NewBranchy(page.Base)
+
+	poolPages := 4096
+	if m.Mem.LLC.NumSlices() > 4 {
+		poolPages = 8192 // Coffee Lake's 8 slices dilute the pool
+	}
+	builder, err := evict.NewBuilder(env, poolPages, 0x10e0, 0x20e0)
+	if err != nil {
+		panic(err)
+	}
+	pa, _ := proc.AS.Translate(page.Base)
+	pm, err := core.NewPageMonitor(env, builder, pa)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range pm.Sets {
+		for _, line := range s.Lines {
+			env.WarmTLB(line)
+		}
+	}
+	pm.Calibrate(env)
+
+	res := LeakResult{Secret: opts.Secret}
+	start := m.Now()
+	m.Spawn(proc, "attacker", func(e *sim.Env) {
+		g := core.MustNewGadget(e, []core.TrainEntry{
+			{IP: core.IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: opts.IfStride},
+			{IP: core.IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: opts.ElseStride},
+		})
+		for range opts.Secret {
+			g.Train(e, 4)
+			pm.Prime(e)
+			e.Yield()
+			deltas := pm.Probe(e)
+			hits := core.HitLines(deltas, 120)
+			s, ok := core.DetectStride(hits, []int64{opts.IfStride, opts.ElseStride})
+			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
+			res.LastProbe = append(res.LastProbe[:0], deltas...)
+		}
+	})
+	m.Spawn(proc, "victim", func(e *sim.Env) {
+		for _, s := range opts.Secret {
+			vic.Step(e, s)
+			e.Yield()
+		}
+	})
+	m.Run()
+	res.Cycles = m.Now() - start
+	res.Correct = boolsEqual(res.Secret, res.Inferred)
+	return res
+}
+
+// V2Options configures the user→kernel Variant 2 (§5.2).
+type V2Options struct {
+	Bits   int
+	Secret []bool
+	// UseIPSearch recovers the kernel load's low-8 IP bits with the §5.2
+	// search instead of assuming disassembly.
+	UseIPSearch bool
+	Stride      int64
+	// Backend selects F+R (default, needs the shared syscall buffer) or
+	// PSC (standalone, no shared memory — Table 3's second V2 technique).
+	Backend Backend
+}
+
+// V2Result extends the leak outcome with the searched IP.
+type V2Result struct {
+	LeakResult
+	FoundIPLow8 uint8
+	IPSearched  bool
+}
+
+// RunVariant2 executes the §5.2 kernel-boundary proof of concept
+// (Figure 14a; the 91 % success rate of §7.2).
+func (l *Lab) RunVariant2(opts V2Options) V2Result {
+	if opts.Bits <= 0 && opts.Secret == nil {
+		opts.Bits = 16
+	}
+	if opts.Secret == nil {
+		opts.Secret = l.randomBits(opts.Bits)
+	}
+	if opts.Stride == 0 {
+		opts.Stride = 11
+	}
+	m := l.m
+	kv := victim.NewKernelSecret(m, 333, opts.Secret)
+	env := m.Direct(m.NewProcess("attacker"))
+	shared := env.Mmap(mem.PageSize, mem.MapShared)
+	env.WarmTLB(shared.Base)
+	fr := core.NewFlushReload()
+
+	res := V2Result{LeakResult: LeakResult{Secret: opts.Secret}}
+	low8 := uint8(kv.LoadIP)
+	if opts.UseIPSearch {
+		// Search against an always-taken oracle victim on syscall 334.
+		searchVic := victim.NewKernelSecret(m, 334, []bool{true})
+		searchVic.LoadIP = kv.LoadIP
+		s := core.NewIPSearch()
+		s.StrideLines = opts.Stride
+		found, err := s.Run(env, shared.Base, func(e *sim.Env) {
+			e.Syscall(334, uint64(shared.Base))
+		})
+		if err == nil {
+			low8 = found
+			res.IPSearched = true
+		}
+	}
+	res.FoundIPLow8 = low8
+
+	start := m.Now()
+	if opts.Backend == PSC {
+		// Standalone extraction: no reload sweep, a single status check per
+		// syscall (§6.1's speed advantage).
+		psc := core.NewPSC(env, core.IPWithLow8(0x40_0000, low8), opts.Stride, 128)
+		psc.Train(env, 4)
+		for range opts.Secret {
+			psc.Train(env, 3)
+			env.WarmTLB(shared.Base)
+			env.Syscall(333, uint64(shared.Base))
+			res.Inferred = append(res.Inferred, !psc.Check(env))
+		}
+	} else {
+		g := core.MustNewGadget(env, []core.TrainEntry{
+			{IP: core.IPWithLow8(0x40_0000, low8), StrideLines: opts.Stride},
+		})
+		for range opts.Secret {
+			g.Train(env, 4)
+			fr.FlushPage(env, shared.Base)
+			env.WarmTLB(shared.Base)
+			env.Syscall(333, uint64(shared.Base))
+			lats, hits := fr.ReloadPage(env, shared.Base)
+			_, ok := core.DetectStride(hits, []int64{opts.Stride})
+			res.Inferred = append(res.Inferred, ok)
+			res.LastProbe = res.LastProbe[:0]
+			for _, lat := range lats {
+				res.LastProbe = append(res.LastProbe, int64(lat))
+			}
+		}
+	}
+	res.Cycles = m.Now() - start
+	res.Correct = boolsEqual(res.Secret, res.Inferred)
+	return res
+}
+
+// DiscoverEvictionSet exercises the timing-only eviction-set discovery
+// (Vila et al. group testing — the pagemap-free Prime+Probe substrate):
+// it finds a minimal eviction set for a fresh target line and reports its
+// size and the number of evicts-target trials consumed.
+func (l *Lab) DiscoverEvictionSet() (lines, trials int, err error) {
+	m := l.m
+	env := m.Direct(m.NewProcess("attacker"))
+	target := env.Mmap(mem.PageSize, mem.MapLocked).Base + 5*mem.LineSize
+	poolPages := 3072
+	if m.Mem.LLC.NumSlices() > 4 {
+		poolPages = 6144
+	}
+	d := evict.NewDiscoverer(env, poolPages, 0x30_10e0)
+	es, err := d.Discover(target, m.Mem.LLC.Config().Ways)
+	if err != nil {
+		return 0, d.Tests, err
+	}
+	return len(es.Lines), d.Tests, nil
+}
+
+// SGXResult reports the enclave leak (§5.4, Figure 10).
+type SGXResult struct {
+	LeakResult
+	// Time24 and Time40 are the final round's reload latencies of the two
+	// telltale lines (3·8 and 5·8).
+	Time24, Time40 uint64
+}
+
+// RunSGX executes the §5.4 enclave control-flow leak.
+func (l *Lab) RunSGX(bits int, secret []bool) SGXResult {
+	if bits <= 0 && secret == nil {
+		bits = 16
+	}
+	if secret == nil {
+		secret = l.randomBits(bits)
+	}
+	m := l.m
+	env := m.Direct(m.NewProcess("app"))
+	buf := env.Mmap(mem.PageSize, mem.MapShared)
+	vic := victim.NewSGXSecret(buf.Base)
+	fr := core.NewFlushReload()
+
+	res := SGXResult{LeakResult: LeakResult{Secret: secret}}
+	start := m.Now()
+	for _, s := range secret {
+		fr.FlushPage(env, buf.Base)
+		vic.ECall(env, s)
+		x1 := buf.Base + mem.VAddr(vic.StrideNotTaken*8*mem.LineSize)
+		x2 := buf.Base + mem.VAddr(vic.StrideTaken*8*mem.LineSize)
+		t24, hit24 := fr.ReloadLine(env, x1)
+		t40, hit40 := fr.ReloadLine(env, x2)
+		res.Time24, res.Time40 = t24, t40
+		res.Inferred = append(res.Inferred, hit40 && !hit24)
+	}
+	res.Cycles = m.Now() - start
+	res.Correct = boolsEqual(res.Secret, res.Inferred)
+	return res
+}
