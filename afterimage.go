@@ -65,6 +65,11 @@ type Options struct {
 	// DisableNoisePrefetchers turns the DCU/DPL/streamer prefetchers off
 	// (ablation: quantifies their false-positive contribution).
 	DisableNoisePrefetchers bool
+	// MaxCycles arms the simulator's cycle-budget watchdog: once the
+	// machine clock passes it, every simulated operation faults with a
+	// FaultBudget SimFault, so runaway experiments terminate with a typed
+	// error (via the Run*E variants) instead of hanging. 0 disables it.
+	MaxCycles uint64
 }
 
 // Lab is a simulated machine plus bookkeeping for the experiments.
@@ -92,6 +97,7 @@ func NewLab(opts Options) *Lab {
 	if opts.DisableNoisePrefetchers {
 		cfg.DCUEnabled, cfg.DPLEnabled, cfg.StreamerEnabled = false, false, false
 	}
+	cfg.MaxCycles = opts.MaxCycles
 	return &Lab{opts: opts, m: sim.NewMachine(cfg), rng: rand.New(rand.NewSource(opts.Seed + 31))}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"afterimage"
+	"afterimage/internal/faults"
 	"afterimage/internal/textplot"
 )
 
@@ -83,6 +84,7 @@ func main() {
 		{"ecc", "extension: error-corrected covert channel", runECC},
 		{"discovery", "extension: eviction-set discovery from timing alone", runDiscovery},
 		{"cpa", "extension: CPA key recovery with AfterImage-aligned traces", runCPA},
+		{"fault-sweep", "robustness: success rate vs fault-injection intensity", runFaultSweep},
 	}
 
 	if *list {
@@ -98,18 +100,45 @@ func main() {
 		want[strings.TrimSpace(id)] = true
 	}
 	ran := 0
+	var failed []string
 	for _, e := range exps {
 		if !all && !want[e.id] {
 			continue
 		}
 		fmt.Printf("\n=== %s ===\n", e.title)
-		e.run(*seed)
+		if err := runExperiment(e, *seed); err != nil {
+			failed = append(failed, e.id)
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *run)
 		os.Exit(1)
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d/%d experiments failed: %s\n",
+			len(failed), ran, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// runExperiment isolates one experiment behind a panic boundary: a
+// misbehaving experiment (simulator fault, model bug) reports a structured
+// error and lets the remaining experiments run, instead of killing the
+// whole suite mid-output.
+func runExperiment(e experiment, seed int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*afterimage.SimFault); ok {
+				err = f
+				return
+			}
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	e.run(seed)
+	return nil
 }
 
 func quietLab(seed int64) *afterimage.Lab {
@@ -421,6 +450,29 @@ func runMitigation(seed int64) {
 	fmt.Printf("top-8 prefetch-sensitive slowdown: %.2f%% (paper: 0.7%%)\n", res.Top8Slowdown*100)
 	fmt.Printf("overall slowdown:                  %.2f%% (paper: 0.2%%)\n", res.OverallSlowdown*100)
 	fmt.Printf("analytic upper bound:              %.2f%% (paper: <7.3%%)\n", res.AnalyticUpperBound*100)
+}
+
+func runFaultSweep(seed int64) {
+	lab := noisyLab(seed)
+	for _, att := range []afterimage.SweepAttack{afterimage.SweepV1Thread, afterimage.SweepV2Kernel} {
+		res := lab.RunFaultSweep(afterimage.SweepOptions{
+			Attack: att, Bits: 48,
+			Intensities: []float64{0, 0.5, 1, 2, 4, 8},
+			Faults:      faults.Config{EventsPerMCycle: 150},
+		})
+		fmt.Printf("%s:\n  intensity  success  confidence  events\n", res.Attack)
+		for _, p := range res.Points {
+			note := ""
+			if p.Err != "" {
+				note = "  (" + p.Err + ")"
+			}
+			fmt.Printf("  %9.2f  %6.1f%%  %10.2f  %6d %s%s\n",
+				p.Intensity, p.SuccessRate*100, p.MeanConfidence, p.FaultEvents,
+				textplot.Bar(p.SuccessRate, 1, 24), note)
+		}
+	}
+	fmt.Println("(prefetcher flushes, entry evictions, TLB shootdowns, preemption storms, cache thrash;")
+	fmt.Println(" deterministic per seed — rerun with the same -seed for the identical curve)")
 }
 
 // timeline renders a PSC sample sequence via textplot.

@@ -42,9 +42,20 @@ func main() {
 	fmt.Printf("overall slowdown:                  %.2f%%  (paper: 0.2%%)\n", res.OverallSlowdown*100)
 	fmt.Printf("analytic upper bound:              %.2f%%  (paper: <7.3%%)\n\n", res.AnalyticUpperBound*100)
 
-	// Security check: the mitigation must actually kill the attack.
-	lab := afterimage.NewLab(afterimage.Options{Seed: *seed, MitigationFlush: true})
-	leak := lab.RunVariant1(afterimage.V1Options{Bits: 64})
+	// Security check: the mitigation must actually kill the attack. The
+	// error-hardened variant keeps the table output above intact even if the
+	// check itself faults.
+	lab, err := afterimage.NewLabE(afterimage.Options{Seed: *seed, MitigationFlush: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-mitigate: security check unavailable: %v\n", err)
+		os.Exit(1)
+	}
+	leak, err := lab.RunVariant1E(afterimage.V1Options{Bits: 64})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-mitigate: security check faulted after %d/64 rounds: %v\n",
+			len(leak.Inferred), err)
+		os.Exit(1)
+	}
 	positives := 0
 	for _, inf := range leak.Inferred {
 		if inf {

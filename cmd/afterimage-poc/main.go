@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -13,54 +14,83 @@ import (
 
 func main() {
 	var (
-		variant = flag.String("variant", "v1", "v1 | v1-cross | v1-pp | v1-psc | v2 | v2-psc | v2-search | sgx")
-		bits    = flag.Int("bits", 32, "secret bits to leak")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		model   = flag.String("model", "coffeelake", "coffeelake | haswell")
-		miti    = flag.Bool("mitigate", false, "enable the clear-ip-prefetcher mitigation")
+		variant   = flag.String("variant", "v1", "v1 | v1-cross | v1-pp | v1-psc | v2 | v2-psc | v2-search | sgx")
+		bits      = flag.Int("bits", 32, "secret bits to leak")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		model     = flag.String("model", "coffeelake", "coffeelake | haswell")
+		miti      = flag.Bool("mitigate", false, "enable the clear-ip-prefetcher mitigation")
+		maxCycles = flag.Uint64("max-cycles", 0, "cycle-budget watchdog (0 = off): abort with a typed fault once exceeded")
 	)
 	flag.Parse()
 
-	opts := afterimage.Options{Seed: *seed, MitigationFlush: *miti}
+	opts := afterimage.Options{Seed: *seed, MitigationFlush: *miti, MaxCycles: *maxCycles}
 	if *model == "haswell" {
 		opts.Model = afterimage.Haswell
 	}
-	lab := afterimage.NewLab(opts)
+	lab, err := afterimage.NewLabE(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-poc: cannot boot the simulated machine: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("machine: %s (mitigation=%v)\n", lab.ModelName(), *miti)
 
+	// show prints whatever the run produced — on a fault these are the bits
+	// leaked before the simulator stopped the experiment.
 	show := func(r afterimage.LeakResult) {
 		fmt.Printf("secret:   %s\n", bitsString(r.Secret))
 		fmt.Printf("inferred: %s\n", bitsString(r.Inferred))
-		fmt.Printf("success:  %.1f%% (%d/%d) in %.2f ms simulated\n",
-			r.SuccessRate()*100, r.Correct, len(r.Secret), lab.Seconds(r.Cycles)*1e3)
+		fmt.Printf("success:  %.1f%% (%d/%d) in %.2f ms simulated, mean confidence %.2f\n",
+			r.SuccessRate()*100, r.Correct, len(r.Secret), lab.Seconds(r.Cycles)*1e3,
+			r.MeanConfidence())
 	}
 
+	var res afterimage.LeakResult
 	switch *variant {
 	case "v1":
-		show(lab.RunVariant1(afterimage.V1Options{Bits: *bits}))
+		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits})
 	case "v1-cross":
-		show(lab.RunVariant1(afterimage.V1Options{Bits: *bits, CrossProcess: true}))
+		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, CrossProcess: true})
 	case "v1-pp":
-		show(lab.RunVariant1(afterimage.V1Options{Bits: *bits, Backend: afterimage.PrimeProbe}))
+		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PrimeProbe})
 	case "v1-psc":
-		show(lab.RunVariant1(afterimage.V1Options{Bits: *bits, Backend: afterimage.PSC}))
+		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PSC})
 	case "v2":
-		res := lab.RunVariant2(afterimage.V2Options{Bits: *bits})
-		show(res.LeakResult)
+		var r afterimage.V2Result
+		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits})
+		res = r.LeakResult
 	case "v2-psc":
-		res := lab.RunVariant2(afterimage.V2Options{Bits: *bits, Backend: afterimage.PSC})
-		show(res.LeakResult)
+		var r afterimage.V2Result
+		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, Backend: afterimage.PSC})
+		res = r.LeakResult
 	case "v2-search":
-		res := lab.RunVariant2(afterimage.V2Options{Bits: *bits, UseIPSearch: true})
-		fmt.Printf("IP search: low-8 bits %#02x (searched=%v)\n", res.FoundIPLow8, res.IPSearched)
-		show(res.LeakResult)
+		var r afterimage.V2Result
+		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, UseIPSearch: true})
+		fmt.Printf("IP search: low-8 bits %#02x (searched=%v)\n", r.FoundIPLow8, r.IPSearched)
+		res = r.LeakResult
 	case "sgx":
-		res := lab.RunSGX(*bits, nil)
-		show(res.LeakResult)
-		fmt.Printf("telltale lines: t(3·8)=%d t(5·8)=%d cycles\n", res.Time24, res.Time40)
+		var r afterimage.SGXResult
+		r, err = lab.RunSGXE(*bits, nil)
+		res = r.LeakResult
+		if err == nil {
+			fmt.Printf("telltale lines: t(3·8)=%d t(5·8)=%d cycles\n", r.Time24, r.Time40)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
 		os.Exit(1)
+	}
+
+	show(res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-poc: experiment terminated early after %d/%d bits\n",
+			len(res.Inferred), len(res.Secret))
+		var f *afterimage.SimFault
+		if errors.As(err, &f) {
+			fmt.Fprintf(os.Stderr, "afterimage-poc: simulator fault: kind=%s task=%q cycle=%d: %v\n",
+				f.Kind, f.Task, f.Cycle, f)
+		} else {
+			fmt.Fprintf(os.Stderr, "afterimage-poc: %v\n", err)
+		}
+		os.Exit(2)
 	}
 }
 

@@ -94,7 +94,17 @@ func symbolsOf(msg []byte) []uint8 {
 
 // RunCovertChannel executes the §5.3 covert channel and reports error rate
 // and simulated bandwidth (Figure 14b; the 833 bps / <6 % numbers of §7.2).
+// A simulator fault panics; RunCovertChannelE is the error-returning
+// variant.
 func (l *Lab) RunCovertChannel(opts CovertOptions) CovertResult {
+	res, err := l.runCovertChannel(opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
 	if len(opts.Message) == 0 {
 		opts.Message = []byte("afterimage covert channel payload")
 	}
@@ -187,7 +197,7 @@ func (l *Lab) RunCovertChannel(opts CovertOptions) CovertResult {
 			e.Yield()
 		}
 	})
-	m.Run()
+	_, runErr := m.RunChecked()
 	res.Cycles = m.Now() - start
 
 	for i, want := range symbols {
@@ -217,5 +227,5 @@ func (l *Lab) RunCovertChannel(opts CovertOptions) CovertResult {
 			}
 		}
 	}
-	return res
+	return res, runErr
 }

@@ -35,6 +35,18 @@ type FlushReload struct {
 	ReloadIP uint64
 	// Order is the reload sweep order.
 	Order ReloadOrder
+	// Threshold, when non-zero, overrides the machine's static hit
+	// threshold — set by Calibrator-driven recalibration when fault
+	// pressure moves the latency populations.
+	Threshold uint64
+}
+
+// threshold resolves the active hit threshold.
+func (fr *FlushReload) threshold(env *sim.Env) uint64 {
+	if fr.Threshold != 0 {
+		return fr.Threshold
+	}
+	return env.HitThreshold()
 }
 
 // NewFlushReload returns the default configuration (zigzag order).
@@ -85,7 +97,7 @@ func (fr *FlushReload) ReloadPage(env *sim.Env, base mem.VAddr) (latencies []uin
 		latencies[l] = env.TimeLoad(fr.ReloadIP, base+mem.VAddr(l*LineSize))
 		env.Fence()
 	}
-	thr := env.HitThreshold()
+	thr := fr.threshold(env)
 	for l, lat := range latencies {
 		if lat < thr {
 			hits = append(hits, l)
@@ -97,5 +109,5 @@ func (fr *FlushReload) ReloadPage(env *sim.Env, base mem.VAddr) (latencies []uin
 // ReloadLine times a single line (PSC-style single-destination check).
 func (fr *FlushReload) ReloadLine(env *sim.Env, addr mem.VAddr) (latency uint64, hit bool) {
 	latency = env.TimeLoad(fr.ReloadIP, addr)
-	return latency, latency < env.HitThreshold()
+	return latency, latency < fr.threshold(env)
 }

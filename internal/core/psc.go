@@ -41,7 +41,10 @@ func NewPSC(env *sim.Env, ip uint64, strideLines int64, pages int) *PSC {
 		pages = 1
 	}
 	if strideLines <= 0 || strideLines > 12 {
-		panic("core: PSC stride must be in 1..12 lines (5 chain steps must fit a page)")
+		panic(&sim.SimFault{
+			Kind: sim.FaultAPIMisuse, Cycle: env.Now(),
+			Msg: "core: PSC stride must be in 1..12 lines (5 chain steps must fit a page)",
+		})
 	}
 	p := &PSC{
 		IP:          ip,
@@ -111,6 +114,13 @@ func (p *PSC) Train(env *sim.Env, rounds int) {
 // Room for the next step is secured before returning, so hops only ever
 // happen inside the attacker's own turn.
 func (p *PSC) Check(env *sim.Env) bool {
+	hit, _ := p.CheckLat(env)
+	return hit
+}
+
+// CheckLat is Check, additionally reporting the raw measured latency so
+// callers can score the decision margin (see LatencyConfidence).
+func (p *PSC) CheckLat(env *sim.Env) (hit bool, lat uint64) {
 	p.ensureRoom(env)
 	// Domain switches may have flushed the TLB; re-warm the chain page so
 	// the first-touch rule cannot mask the status check (the chain is the
@@ -118,11 +128,11 @@ func (p *PSC) Check(env *sim.Env) bool {
 	env.WarmTLB(p.cursor)
 	env.Load(p.IP, p.cursor)
 	target := p.cursor + p.strideBytes()
-	lat := env.TimeLoad(p.MeasureIP, target)
+	lat = env.TimeLoad(p.MeasureIP, target)
 	p.cursor = target
-	hit := lat < env.HitThreshold()
+	hit = lat < env.HitThreshold()
 	p.ensureRoom(env)
-	return hit
+	return hit, lat
 }
 
 // Observe runs a full train-yield-check round against a victim scheduled

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// LowConfidence is the per-bit confidence below which an attack runner
+// escalates: more training rounds via Backoff, and eventually a threshold
+// recalibration. Readings at or above it keep the base schedule, so clean
+// (fault-free) runs never pay for the resilience machinery.
+const LowConfidence = 0.5
+
+// CalIPLow8 is the reserved low-8 IP value for calibration loads (alongside
+// ReloadIPLow8 / ProbeIPLow8 / PSCIPLow8 — trained entries must avoid it).
+const CalIPLow8 = 0xE4
+
+// Backoff schedules re-training rounds with capped exponential growth: while
+// readings stay confident it reports the base round count, and every
+// low-confidence reading doubles the next schedule up to the cap. A good
+// reading resets it. This is the graceful-degradation loop: under prefetcher
+// churn or preemption storms the attacker retrains harder instead of
+// emitting garbage at the clean-run cadence.
+type Backoff struct {
+	Base, Cap int
+	cur       int
+	streak    int // consecutive escalations since the last reset
+}
+
+// NewBackoff returns a schedule starting (and resetting) to base rounds and
+// never exceeding cap.
+func NewBackoff(base, cap int) *Backoff {
+	if base < 1 {
+		base = 1
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{Base: base, Cap: cap, cur: base}
+}
+
+// Rounds reports the training rounds to use for the next attempt.
+func (b *Backoff) Rounds() int { return b.cur }
+
+// Escalate doubles the schedule (capped) after a low-confidence reading and
+// returns the consecutive-escalation count, so callers can trigger deeper
+// recovery (threshold recalibration) every few failures.
+func (b *Backoff) Escalate() int {
+	b.cur *= 2
+	if b.cur > b.Cap {
+		b.cur = b.Cap
+	}
+	b.streak++
+	return b.streak
+}
+
+// Reset restores the base schedule after a confident reading.
+func (b *Backoff) Reset() {
+	b.cur = b.Base
+	b.streak = 0
+}
+
+// Calibrator tracks hit/miss latency estimates with an exponentially
+// weighted moving average and derives a refreshed hit threshold. Attack
+// runners invoke it only after repeated low-confidence readings, when the
+// static MeasureConfig threshold may have drifted from reality (e.g. under
+// injected cache thrash the "hit" population moves toward LLC latency).
+type Calibrator struct {
+	Hit, Miss float64 // EWMA latency estimates; zero until observed
+	Alpha     float64 // EWMA weight of a new sample (default 0.25)
+}
+
+// NewCalibrator returns an empty calibrator.
+func NewCalibrator() *Calibrator { return &Calibrator{Alpha: 0.25} }
+
+func (c *Calibrator) observe(est *float64, lat uint64) {
+	if *est == 0 {
+		*est = float64(lat)
+		return
+	}
+	*est += c.Alpha * (float64(lat) - *est)
+}
+
+// ObserveHit folds one known-hit latency sample into the estimate.
+func (c *Calibrator) ObserveHit(lat uint64) { c.observe(&c.Hit, lat) }
+
+// ObserveMiss folds one known-miss latency sample into the estimate.
+func (c *Calibrator) ObserveMiss(lat uint64) { c.observe(&c.Miss, lat) }
+
+// Threshold returns the recalibrated hit threshold: the hit/miss midpoint,
+// clamped to stay strictly between the two estimates. Zero (no usable
+// estimates yet) means "keep the current threshold".
+func (c *Calibrator) Threshold() uint64 {
+	if c.Hit == 0 || c.Miss == 0 || c.Miss <= c.Hit+2 {
+		return 0
+	}
+	return uint64((c.Hit + c.Miss) / 2)
+}
+
+// Measure refreshes the estimates on a scratch line the caller owns: each
+// sample flushes the line, times the (miss) reload, and times it again (hit).
+// It returns the refreshed threshold, or zero when the populations did not
+// separate (keep the previous threshold).
+func (c *Calibrator) Measure(env *sim.Env, addr mem.VAddr, samples int) uint64 {
+	ip := IPWithLow8(0x72_0000, CalIPLow8)
+	env.WarmTLB(addr)
+	for i := 0; i < samples; i++ {
+		env.Flush(addr)
+		env.Fence()
+		c.ObserveMiss(env.TimeLoad(ip, addr))
+		c.ObserveHit(env.TimeLoad(ip, addr))
+	}
+	return c.Threshold()
+}
+
+// strideVotes counts the evidence pairs for stride s in a hit-line set: the
+// number of lines l such that both l and l+s were observed hot.
+func strideVotes(hits []int, s int64) int {
+	present := make(map[int]bool, len(hits))
+	for _, l := range hits {
+		present[l] = true
+	}
+	v := 0
+	for _, l := range hits {
+		if t := int64(l) + s; t >= 0 && t < LinesPerPage && present[int(t)] {
+			v++
+		}
+	}
+	return v
+}
+
+// StrideConfidence scores (0–1) the evidence that stride s — rather than any
+// rival stride or noise — explains the observed hit lines. A clean reading
+// (exactly the trigger line plus its prefetched partner) scores 1.0; rival-
+// stride votes and surplus hot lines (cache thrash, kernel pollution) erode
+// the score toward 0.
+func StrideConfidence(hits []int, s int64, rivals []int64) float64 {
+	v := strideVotes(hits, s)
+	if v == 0 {
+		return 0
+	}
+	r := 0
+	for _, q := range rivals {
+		if q != s {
+			r += strideVotes(hits, q)
+		}
+	}
+	surplus := float64(len(hits) - 2) // a lone clean pair is 2 hot lines
+	if surplus < 0 {
+		surplus = 0
+	}
+	return float64(v) / (float64(v+r) + surplus/8)
+}
+
+// AbsenceConfidence scores a negative reading: a sweep that came back fully
+// cold is a confident "victim did not execute the load"; stray hot lines
+// make the absence ambiguous (the signal may have been evicted, not absent).
+func AbsenceConfidence(hits []int) float64 {
+	return 1 / (1 + float64(len(hits)))
+}
+
+// LatencyConfidence scores a single timed load by its margin from the hit
+// threshold, clamped to [0, 1]: measurements far from the decision boundary
+// are trustworthy, ones near it are coin flips.
+func LatencyConfidence(lat, thr uint64) float64 {
+	if thr == 0 {
+		return 0
+	}
+	var m float64
+	if lat < thr {
+		m = float64(thr-lat) / float64(thr)
+	} else {
+		m = float64(lat-thr) / float64(thr)
+	}
+	if m > 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/sim"
+)
+
+// TestPreviewDeterministic: the schedule is a pure function of the config.
+func TestPreviewDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Intensity: 0.7}
+	a := Preview(cfg, 200)
+	b := Preview(cfg, 200)
+	if len(a) != 200 {
+		t.Fatalf("got %d events", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	c := Preview(Config{Seed: 43, Intensity: 0.7}, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Cycle <= a[i-1].Cycle {
+			t.Fatalf("schedule not strictly increasing at %d: %d then %d",
+				i, a[i-1].Cycle, a[i].Cycle)
+		}
+	}
+}
+
+// TestIntensityScalesRate: higher intensity packs more events into the same
+// span of simulated time.
+func TestIntensityScalesRate(t *testing.T) {
+	span := func(intensity float64) uint64 {
+		ev := Preview(Config{Seed: 7, Intensity: intensity}, 500)
+		return ev[len(ev)-1].Cycle
+	}
+	low, high := span(0.1), span(1.0)
+	if high*5 > low {
+		// 10x the intensity should compress 500 events ~10x; allow 2x slack.
+		t.Fatalf("intensity scaling off: 500 events span %d at 0.1 vs %d at 1.0", low, high)
+	}
+}
+
+// TestZeroIntensityInert: intensity 0 never fires.
+func TestZeroIntensityInert(t *testing.T) {
+	e := New(Config{Seed: 1, Intensity: 0})
+	if e.Enabled() {
+		t.Fatal("zero-intensity engine claims to be enabled")
+	}
+	if ev := Preview(Config{Seed: 1}, 10); ev != nil {
+		t.Fatalf("inert preview returned %v", ev)
+	}
+	m := sim.NewMachine(sim.Quiet(sim.CoffeeLake(1)))
+	m.SetPerturber(e)
+	env := m.Direct(m.NewProcess("p"))
+	buf := env.Mmap(mem.PageSize, mem.MapLocked)
+	for i := 0; i < 100; i++ {
+		env.Load(0x40, buf.Base)
+	}
+	if e.Stats().Total != 0 {
+		t.Fatalf("inert engine applied %d events", e.Stats().Total)
+	}
+}
+
+// TestKindFilter: a restricted engine fires only the requested kinds.
+func TestKindFilter(t *testing.T) {
+	ev := Preview(Config{Seed: 3, Intensity: 1, Kinds: []Kind{TLBShootdown}}, 50)
+	for _, e := range ev {
+		if e.Kind != TLBShootdown {
+			t.Fatalf("restricted schedule contains %v", e.Kind)
+		}
+	}
+}
+
+// TestEngineAppliesOnMachine: a driven machine accumulates perturbations that
+// match the preview schedule, and two identical runs agree cycle-for-cycle.
+func TestEngineAppliesOnMachine(t *testing.T) {
+	run := func() (uint64, Stats) {
+		m := sim.NewMachine(sim.CoffeeLake(9))
+		eng := New(Config{Seed: 11, Intensity: 1.0, EventsPerMCycle: 500})
+		m.SetPerturber(eng)
+		env := m.Direct(m.NewProcess("p"))
+		buf := env.Mmap(64*mem.PageSize, mem.MapLocked)
+		env.WarmTLB(buf.Base)
+		for i := 0; i < 2000; i++ {
+			env.Load(0x40, buf.Base+mem.VAddr((i%512)*64))
+		}
+		return m.Now(), eng.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d, %+v) vs (%d, %+v)", c1, s1, c2, s2)
+	}
+	if s1.Total == 0 {
+		t.Fatal("engine never fired on an active machine")
+	}
+	var sum uint64
+	for _, k := range AllKinds() {
+		sum += s1.Count(k)
+	}
+	if sum != s1.Total {
+		t.Fatalf("per-kind counts sum to %d, total %d", sum, s1.Total)
+	}
+}
+
+// TestFlushTableClearsEntries: the FlushTable perturbation empties the
+// IP-stride history table.
+func TestFlushTableClearsEntries(t *testing.T) {
+	m := sim.NewMachine(sim.Quiet(sim.CoffeeLake(2)))
+	env := m.Direct(m.NewProcess("p"))
+	buf := env.Mmap(mem.PageSize, mem.MapLocked)
+	env.WarmTLB(buf.Base)
+	env.Load(0x77, buf.Base)
+	if _, ok := m.Pref.IPStride.Peek(0x77, 1); !ok {
+		t.Fatal("training load did not allocate an entry")
+	}
+	eng := New(Config{Seed: 5, Intensity: 1})
+	eng.apply(m, Event{Kind: FlushTable})
+	if _, ok := m.Pref.IPStride.Peek(0x77, 1); ok {
+		t.Fatal("entry survived a flush-table event")
+	}
+	if eng.Stats().Count(FlushTable) != 1 {
+		t.Fatalf("stats = %+v", eng.Stats())
+	}
+}
+
+// TestParseKind round-trips every kind name.
+func TestParseKind(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted garbage")
+	}
+}

@@ -108,10 +108,19 @@ type Stats struct {
 	Flushes    uint64 // clear-ip-prefetcher invocations
 }
 
+// Validate reports whether the configuration describes a buildable
+// prefetcher; NewIPStride panics on exactly the configs Validate rejects.
+func (c IPStrideConfig) Validate() error {
+	if c.Entries <= 0 || c.IndexBits <= 0 || c.IndexBits > 64 {
+		return fmt.Errorf("prefetcher: invalid config %+v", c)
+	}
+	return nil
+}
+
 // NewIPStride builds the prefetcher.
 func NewIPStride(cfg IPStrideConfig) *IPStride {
-	if cfg.Entries <= 0 || cfg.IndexBits <= 0 || cfg.IndexBits > 64 {
-		panic(fmt.Sprintf("prefetcher: invalid config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &IPStride{
 		cfg:      cfg,
@@ -173,6 +182,19 @@ func (p *IPStride) Flush() {
 		p.entries[i] = Entry{}
 	}
 	p.stats.Flushes++
+}
+
+// EvictSlot invalidates the history entry in physical slot i — a targeted
+// single-entry eviction, as a contending context's allocations (or a
+// fault-injection event) would cause. It reports whether a valid entry was
+// dropped.
+func (p *IPStride) EvictSlot(i int) bool {
+	if i < 0 || i >= len(p.entries) || !p.entries[i].Valid {
+		return false
+	}
+	p.entries[i] = Entry{}
+	p.stats.Evictions++
+	return true
 }
 
 // Invalidate drops the entry matching the access context, if any.

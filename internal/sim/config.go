@@ -84,6 +84,12 @@ type Config struct {
 	// FlushPrefetcherOnSwitch enables the paper's proposed
 	// clear-ip-prefetcher mitigation at every domain switch (§8.3).
 	FlushPrefetcherOnSwitch bool
+	// MaxCycles is the machine-lifetime cycle budget: once the clock passes
+	// it, every Env operation faults with a FaultBudget SimFault, so a
+	// runaway or never-yielding task terminates deterministically instead
+	// of hanging Run forever. 0 disables the watchdog; RunBudget installs a
+	// per-run budget on top.
+	MaxCycles uint64
 }
 
 func defaultNoise() NoiseConfig {

@@ -16,6 +16,7 @@ type Env struct {
 	domain Domain
 	task   *task    // nil for Direct envs
 	caller *Process // for kernel envs: the syscall-issuing process
+	lastIP uint64   // IP of the most recent load (fault diagnostics)
 }
 
 // Machine returns the underlying machine.
@@ -49,6 +50,8 @@ func (e *Env) addressSpace() *mem.AddressSpace {
 // Load executes a load instruction at the given IP touching virtual address
 // v; it returns the raw latency in cycles.
 func (e *Env) Load(ip uint64, v mem.VAddr) uint64 {
+	e.m.checkBudget(e)
+	e.lastIP = ip
 	lat := e.m.load(ip, v, e.PID(), e.addressSpace())
 	e.m.tick(e)
 	return lat
@@ -57,6 +60,8 @@ func (e *Env) Load(ip uint64, v mem.VAddr) uint64 {
 // TimeLoad executes a load bracketed by serialising timestamp reads and
 // returns the measured latency (true latency + overhead + jitter).
 func (e *Env) TimeLoad(ip uint64, v mem.VAddr) uint64 {
+	e.m.checkBudget(e)
+	e.lastIP = ip
 	lat := e.m.timedLoad(ip, v, e.PID(), e.addressSpace())
 	e.m.tick(e)
 	return lat
@@ -65,14 +70,29 @@ func (e *Env) TimeLoad(ip uint64, v mem.VAddr) uint64 {
 // LoadUser is a kernel-mode load that translates through the syscall
 // caller's address space (copy_from_user-style access to user memory).
 func (e *Env) LoadUser(ip uint64, v mem.VAddr) uint64 {
+	e.m.checkBudget(e)
 	if e.domain != DomainKernel || e.caller == nil {
-		panic("sim: LoadUser outside a syscall handler")
+		panic(&SimFault{
+			Kind: FaultAPIMisuse, Task: e.taskName(), Domain: e.domain,
+			Cycle: e.m.Now(), IP: ip, Addr: v,
+			Msg: "LoadUser outside a syscall handler",
+		})
 	}
+	e.lastIP = ip
 	return e.m.load(ip, v, KernelPID, e.caller.AS)
+}
+
+// taskName reports the owning task's name, or "" for Direct envs.
+func (e *Env) taskName() string {
+	if e.task == nil {
+		return ""
+	}
+	return e.task.name
 }
 
 // Flush issues clflush for the line containing v.
 func (e *Env) Flush(v mem.VAddr) {
+	e.m.checkBudget(e)
 	e.m.flush(v, e.addressSpace())
 	e.m.tick(e)
 }
@@ -89,6 +109,7 @@ func (e *Env) FlushRange(v mem.VAddr, n uint64) {
 // stream detection, so the DCU/DPL/streamer detectors reset; the IP-stride
 // history table survives.
 func (e *Env) Fence() {
+	e.m.checkBudget(e)
 	e.m.Pref.FenceReset()
 	e.m.advance(20)
 	e.m.tick(e)
@@ -115,13 +136,22 @@ func (e *Env) WarmTLB(v mem.VAddr) { e.m.TLB.Warm(e.addressSpace().ID, v) }
 
 // Mmap maps fresh memory into the current process.
 func (e *Env) Mmap(length uint64, kind mem.MapKind) *mem.Mapping {
+	e.m.checkBudget(e)
 	e.m.advance(600) // syscall-ish cost
-	return e.proc.AS.MustMmap(length, kind)
+	mp, err := e.proc.AS.Mmap(length, kind)
+	if err != nil {
+		panic(&SimFault{
+			Kind: FaultOOM, Task: e.taskName(), Domain: e.domain,
+			Cycle: e.m.Now(), Msg: err.Error(),
+		})
+	}
+	return mp
 }
 
 // Sleep advances the clock by the given number of cycles (computation that
 // does not touch memory).
 func (e *Env) Sleep(cycles uint64) {
+	e.m.checkBudget(e)
 	e.m.advance(cycles)
 	e.m.tick(e)
 }
@@ -130,6 +160,7 @@ func (e *Env) Sleep(cycles uint64) {
 // runnable task and applies domain-switch costs and noise. On a Direct env
 // it only advances time.
 func (e *Env) Yield() {
+	e.m.checkBudget(e)
 	if e.task == nil {
 		e.m.advance(e.m.Cfg.Noise.ThreadSwitchCycles)
 		return
@@ -141,9 +172,13 @@ func (e *Env) Yield() {
 // runs synchronously in the kernel domain on this core, sharing the
 // prefetcher and caches — Observation 2 of the paper.
 func (e *Env) Syscall(num int, args ...uint64) uint64 {
+	e.m.checkBudget(e)
 	h, ok := e.m.syscalls[num]
 	if !ok {
-		panic(fmt.Sprintf("sim: unknown syscall %d", num))
+		panic(&SimFault{
+			Kind: FaultBadSyscall, Task: e.taskName(), Domain: e.domain,
+			Cycle: e.m.Now(), Msg: fmt.Sprintf("unknown syscall %d", num),
+		})
 	}
 	e.m.syscallCount++
 	e.m.advance(e.m.Cfg.Noise.SyscallCycles / 2)
@@ -158,6 +193,7 @@ func (e *Env) Syscall(num int, args ...uint64) uint64 {
 // cost EENTER/EEXIT cycles, but — as §4.6 established — the prefetcher state
 // and any prefetched lines survive the transition.
 func (e *Env) EnclaveCall(fn func(*Env)) {
+	e.m.checkBudget(e)
 	e.m.advance(e.m.Cfg.Noise.EnclaveSwitchCycles / 2)
 	eenv := &Env{m: e.m, proc: e.proc, domain: DomainEnclave, task: e.task}
 	fn(eenv)

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"afterimage/internal/mem"
+)
+
+// FaultKind classifies a simulator fault.
+type FaultKind int
+
+// Fault classes. FaultPanic covers arbitrary panics escaping a task body;
+// the rest are raised by the simulator itself.
+const (
+	// FaultPanic is a recovered panic from simulated code (a misbehaving
+	// victim or attacker body).
+	FaultPanic FaultKind = iota
+	// FaultSegfault is an access to an unmapped virtual address.
+	FaultSegfault
+	// FaultBudget is the cycle-budget watchdog: the machine clock passed
+	// the configured MaxCycles / RunBudget limit.
+	FaultBudget
+	// FaultBadSyscall is a syscall with no registered handler.
+	FaultBadSyscall
+	// FaultAPIMisuse is an Env/Machine API contract violation (LoadUser
+	// outside a handler, yield from a non-current task, re-entrant Run,
+	// invalid primitive parameters).
+	FaultAPIMisuse
+	// FaultOOM is physical-frame exhaustion on mmap.
+	FaultOOM
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultSegfault:
+		return "segfault"
+	case FaultBudget:
+		return "cycle-budget"
+	case FaultBadSyscall:
+		return "bad-syscall"
+	case FaultAPIMisuse:
+		return "api-misuse"
+	case FaultOOM:
+		return "oom"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// SimFault is the typed error carried out of the simulator when a task
+// misbehaves: what happened, which task, in which privilege domain, at which
+// cycle, and — when the faulting operation was a memory access — the load IP
+// and virtual address involved. Task bodies that panic, segfault, exceed the
+// cycle budget or violate the Env contract terminate with a SimFault instead
+// of deadlocking the scheduler or killing the process.
+type SimFault struct {
+	Kind   FaultKind
+	Task   string // faulting task name ("" for Direct envs)
+	Domain Domain
+	Cycle  uint64
+	IP     uint64    // load IP of the faulting access, when applicable
+	Addr   mem.VAddr // virtual address of the faulting access, when applicable
+	Space  string    // address-space name of the faulting access, when applicable
+	Msg    string
+	Panic  interface{} // recovered value for FaultPanic
+}
+
+// Error renders the fault with its execution context.
+func (f *SimFault) Error() string {
+	who := f.Task
+	if who == "" {
+		who = "direct"
+	}
+	s := fmt.Sprintf("sim: %s fault in task %q (%s domain, cycle %d)", f.Kind, who, f.Domain, f.Cycle)
+	if f.Kind == FaultSegfault {
+		s += fmt.Sprintf(": %s accessed unmapped %#x (IP %#x)", f.Space, uint64(f.Addr), f.IP)
+	}
+	if f.Msg != "" {
+		s += ": " + f.Msg
+	}
+	if f.Panic != nil {
+		s += fmt.Sprintf(": %v", f.Panic)
+	}
+	return s
+}
+
+// Is lets errors.Is match any SimFault against another by kind.
+func (f *SimFault) Is(target error) bool {
+	t, ok := target.(*SimFault)
+	return ok && t.Kind == f.Kind
+}
+
+// AsFault extracts a *SimFault from an error chain.
+func AsFault(err error) (*SimFault, bool) {
+	var f *SimFault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// IsBudgetFault reports whether err is a cycle-budget watchdog fault.
+func IsBudgetFault(err error) bool {
+	f, ok := AsFault(err)
+	return ok && f.Kind == FaultBudget
+}
+
+// faultFrom normalises a recovered panic value into a *SimFault, attaching
+// the task context when the fault does not already carry one.
+func faultFrom(r interface{}, taskName string, cycle uint64) *SimFault {
+	if f, ok := r.(*SimFault); ok {
+		if f.Task == "" {
+			f.Task = taskName
+		}
+		return f
+	}
+	return &SimFault{Kind: FaultPanic, Task: taskName, Domain: DomainUser, Cycle: cycle, Panic: r}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"afterimage/internal/mem"
+)
+
+// TestPanickingTaskDoesNotDeadlock is the regression test for the scheduler
+// deadlock: a panicking task body used to kill its goroutine without sending
+// a schedEvent, blocking Run on <-s.events forever. Now the panic is
+// recovered, forwarded as a typed SimFault, and the surviving tasks drain.
+func TestPanickingTaskDoesNotDeadlock(t *testing.T) {
+	m := quietMachine()
+	p1 := m.NewProcess("a")
+	p2 := m.NewProcess("b")
+	victimSteps := 0
+	m.Spawn(p1, "bomber", func(e *Env) {
+		e.Yield()
+		panic("victim body misbehaved")
+	})
+	m.Spawn(p2, "survivor", func(e *Env) {
+		for i := 0; i < 3; i++ {
+			victimSteps++
+			e.Yield()
+		}
+	})
+	done := make(chan struct{})
+	var cycles uint64
+	var err error
+	go func() {
+		cycles, err = m.RunChecked()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeoutC(t):
+		t.Fatal("RunChecked deadlocked on a panicking task")
+	}
+	if err == nil {
+		t.Fatal("no fault reported")
+	}
+	f, ok := AsFault(err)
+	if !ok {
+		t.Fatalf("error %v is not a SimFault", err)
+	}
+	if f.Kind != FaultPanic || f.Task != "bomber" {
+		t.Fatalf("fault = %+v, want panic fault in task bomber", f)
+	}
+	if victimSteps != 3 {
+		t.Fatalf("surviving task ran %d/3 steps", victimSteps)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if len(m.Faults()) != 1 {
+		t.Fatalf("Faults() = %v", m.Faults())
+	}
+}
+
+// timeoutC returns a channel that fires after a generous wall-clock bound.
+// The sim is fast; hitting this means a real deadlock, not a slow machine.
+func timeoutC(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(30 * time.Second)
+}
+
+// TestSegfaultFaultCarriesContext: an unmapped access inside a scheduled
+// task terminates it with a segfault SimFault naming the task, IP, address
+// and cycle instead of crashing the process.
+func TestSegfaultFaultCarriesContext(t *testing.T) {
+	m := quietMachine()
+	p := m.NewProcess("proc")
+	m.Spawn(p, "wild", func(e *Env) {
+		e.Load(0xBEEF, 0xdead0000)
+	})
+	_, err := m.RunChecked()
+	f, ok := AsFault(err)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Kind != FaultSegfault || f.Task != "wild" || f.IP != 0xBEEF || f.Addr != 0xdead0000 {
+		t.Fatalf("fault = %+v", f)
+	}
+	if f.Space != "proc" {
+		t.Fatalf("fault space = %q", f.Space)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+// TestWatchdogBudget: a task that never yields hits the cycle budget and
+// terminates with a diagnosable budget fault instead of hanging Run forever.
+func TestWatchdogBudget(t *testing.T) {
+	m := quietMachine()
+	p := m.NewProcess("p")
+	m.Spawn(p, "spinner", func(e *Env) {
+		for { // never yields, never returns
+			e.Sleep(1000)
+		}
+	})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = m.RunBudget(2_000_000)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeoutC(t):
+		t.Fatal("RunBudget did not terminate a never-yielding task")
+	}
+	if !IsBudgetFault(err) {
+		t.Fatalf("err = %v, want budget fault", err)
+	}
+	f, _ := AsFault(err)
+	if f.Task != "spinner" {
+		t.Fatalf("budget fault names task %q", f.Task)
+	}
+	if m.Now() > 2_010_000 {
+		t.Fatalf("clock ran to %d, far past the 2M budget", m.Now())
+	}
+}
+
+// TestWatchdogTerminatesAllTasks: when the budget trips, every remaining
+// task is terminated (each faults on its next operation) and Run returns.
+func TestWatchdogTerminatesAllTasks(t *testing.T) {
+	m := quietMachine()
+	p := m.NewProcess("p")
+	spin := func(e *Env) {
+		for {
+			e.Sleep(500)
+			e.Yield()
+		}
+	}
+	m.Spawn(p, "s1", spin)
+	m.Spawn(p, "s2", spin)
+	_, err := m.RunBudget(1_000_000)
+	if !IsBudgetFault(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := len(m.Faults()); n != 2 {
+		t.Fatalf("%d faults, want 2 (one per spinning task)", n)
+	}
+}
+
+// TestConfigMaxCycles: the watchdog can be armed at machine construction.
+func TestConfigMaxCycles(t *testing.T) {
+	cfg := Quiet(CoffeeLake(1))
+	cfg.MaxCycles = 500_000
+	m := NewMachine(cfg)
+	p := m.NewProcess("p")
+	m.Spawn(p, "spinner", func(e *Env) {
+		for {
+			e.Sleep(100)
+		}
+	})
+	_, err := m.RunChecked()
+	if !IsBudgetFault(err) {
+		t.Fatalf("err = %v, want budget fault from Config.MaxCycles", err)
+	}
+}
+
+// TestReentrantRunReturnsError: calling Run from inside a task body returns
+// an api-misuse fault instead of panicking.
+func TestReentrantRunReturnsError(t *testing.T) {
+	m := quietMachine()
+	p := m.NewProcess("p")
+	var reErr error
+	m.Spawn(p, "outer", func(e *Env) {
+		_, reErr = m.RunChecked()
+	})
+	if _, err := m.RunChecked(); err != nil {
+		t.Fatalf("outer run failed: %v", err)
+	}
+	f, ok := AsFault(reErr)
+	if !ok || f.Kind != FaultAPIMisuse {
+		t.Fatalf("re-entrant RunChecked returned %v, want api-misuse fault", reErr)
+	}
+}
+
+// TestFaultDeterminism: a run containing a faulting task is just as
+// reproducible as a clean one.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (uint64, string) {
+		m := NewMachine(CoffeeLake(3))
+		p := m.NewProcess("p")
+		buf := m.Direct(p).Mmap(mem.PageSize, mem.MapLocked)
+		m.Spawn(p, "worker", func(e *Env) {
+			for i := 0; i < 50; i++ {
+				e.WarmTLB(buf.Base)
+				e.Load(0x40, buf.Base+mem.VAddr((i%64)*64))
+				e.Yield()
+			}
+		})
+		m.Spawn(p, "bomber", func(e *Env) {
+			for i := 0; i < 10; i++ {
+				e.Yield()
+			}
+			e.Load(0x41, 0xbad00000) // segfault
+		})
+		cycles, err := m.RunChecked()
+		return cycles, err.Error()
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Fatalf("nondeterministic fault run: (%d, %q) vs (%d, %q)", c1, e1, c2, e2)
+	}
+}
+
+// TestUnknownSyscallFaultTyped: the unknown-syscall panic now carries a
+// typed fault.
+func TestUnknownSyscallFaultTyped(t *testing.T) {
+	m := quietMachine()
+	env := m.Direct(m.NewProcess("p"))
+	defer func() {
+		r := recover()
+		f, ok := r.(*SimFault)
+		if !ok || f.Kind != FaultBadSyscall {
+			t.Fatalf("recovered %v, want bad-syscall SimFault", r)
+		}
+	}()
+	env.Syscall(999)
+}
+
+// TestDirectEnvBudgetFault: the watchdog also guards schedulerless Direct
+// envs (the panic propagates to the caller as a typed fault).
+func TestDirectEnvBudgetFault(t *testing.T) {
+	cfg := Quiet(CoffeeLake(1))
+	cfg.MaxCycles = 10_000
+	m := NewMachine(cfg)
+	env := m.Direct(m.NewProcess("p"))
+	defer func() {
+		f, ok := recover().(*SimFault)
+		if !ok || f.Kind != FaultBudget {
+			t.Fatalf("want budget fault, got %v", f)
+		}
+	}()
+	for {
+		env.Sleep(1000)
+	}
+}
+
+// TestErrorsIsMatchesKind: errors.Is matches SimFaults by kind.
+func TestErrorsIsMatchesKind(t *testing.T) {
+	err := error(&SimFault{Kind: FaultBudget, Task: "x"})
+	if !errors.Is(err, &SimFault{Kind: FaultBudget}) {
+		t.Fatal("errors.Is failed to match by kind")
+	}
+	if errors.Is(err, &SimFault{Kind: FaultSegfault}) {
+		t.Fatal("errors.Is matched the wrong kind")
+	}
+}
+
+// TestFaultKindStrings covers the diagnostic names.
+func TestFaultKindStrings(t *testing.T) {
+	kinds := []FaultKind{FaultPanic, FaultSegfault, FaultBudget, FaultBadSyscall, FaultAPIMisuse, FaultOOM}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+	}
+}

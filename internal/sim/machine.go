@@ -74,16 +74,53 @@ type Machine struct {
 
 	sched *scheduler
 
+	// budgetLimit is the absolute clock value past which Env operations
+	// fault with FaultBudget (0 = no watchdog). Set from Config.MaxCycles
+	// and overridden for the duration of a RunBudget call.
+	budgetLimit uint64
+
+	// pert receives control after every clock advance (fault injection);
+	// inPerturb guards against recursion while a perturbation itself
+	// advances the clock.
+	pert      Perturber
+	inPerturb bool
+
 	// Counters.
 	domainSwitches uint64
 	syscallCount   uint64
 }
 
-// NewMachine builds a machine from its config.
+// Perturber is a fault-injection hook: Perturb is invoked after every clock
+// advance with the new cycle count, on whichever goroutine holds the core.
+// Implementations may mutate microarchitectural state (flush the prefetcher
+// table, shoot down the TLB, inject kernel noise) through the machine's
+// public API; clock advances they cause do not re-enter the hook.
+type Perturber interface {
+	Perturb(m *Machine, now uint64)
+}
+
+// SetPerturber installs (or, with nil, removes) the fault-injection hook.
+func (m *Machine) SetPerturber(p Perturber) { m.pert = p }
+
+// NewMachine builds a machine from its config, panicking on an invalid
+// configuration; NewMachineChecked is the error-returning variant.
 func NewMachine(cfg Config) *Machine {
-	h, err := cache.NewHierarchy(cfg.Hierarchy)
+	m, err := NewMachineChecked(cfg)
 	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// NewMachineChecked builds a machine from its config, returning an error for
+// invalid cache or prefetcher geometry instead of panicking.
+func NewMachineChecked(cfg Config) (*Machine, error) {
+	h, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid hierarchy: %w", err)
+	}
+	if err := cfg.IPStride.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid IP-stride config: %w", err)
 	}
 	suite := &prefetcher.Suite{
 		IPStride: prefetcher.NewIPStride(cfg.IPStride),
@@ -102,11 +139,16 @@ func NewMachine(cfg Config) *Machine {
 		jitter:   rand.New(rand.NewSource(cfg.Seed + 7)),
 		noise:    rand.New(rand.NewSource(cfg.Seed + 13)),
 	}
+	m.budgetLimit = cfg.MaxCycles
 	m.Kernel = &Process{PID: KernelPID, Name: "kernel",
 		AS: mem.NewAddressSpace("kernel", m.Phys, kaslrSeed(cfg))}
-	m.noiseRegion = m.Kernel.AS.MustMmap(64*mem.PageSize, mem.MapLocked)
+	noiseRegion, err := m.Kernel.AS.Mmap(64*mem.PageSize, mem.MapLocked)
+	if err != nil {
+		return nil, fmt.Errorf("sim: kernel noise region: %w", err)
+	}
+	m.noiseRegion = noiseRegion
 	m.sched = newScheduler(m)
-	return m
+	return m, nil
 }
 
 func kaslrSeed(cfg Config) int64 {
@@ -147,8 +189,34 @@ func (m *Machine) Seconds(cycles uint64) float64 {
 // DomainSwitches reports how many domain/context switches have occurred.
 func (m *Machine) DomainSwitches() uint64 { return m.domainSwitches }
 
-// advance moves the clock forward.
-func (m *Machine) advance(cycles uint64) { m.clock += cycles }
+// advance moves the clock forward and hands control to the fault-injection
+// hook, if any.
+func (m *Machine) advance(cycles uint64) {
+	m.clock += cycles
+	if m.pert != nil && !m.inPerturb {
+		m.inPerturb = true
+		m.pert.Perturb(m, m.clock)
+		m.inPerturb = false
+	}
+}
+
+// checkBudget enforces the cycle watchdog: once the clock is past the budget
+// limit, the calling Env operation faults. The panic is recovered at the
+// task-goroutine boundary (or the Lab API boundary for Direct envs) and
+// surfaces as a typed *SimFault, so runaway and never-yielding tasks
+// terminate deterministically.
+func (m *Machine) checkBudget(e *Env) {
+	if m.budgetLimit != 0 && m.clock > m.budgetLimit {
+		f := &SimFault{
+			Kind: FaultBudget, Domain: e.domain, Cycle: m.clock, IP: e.lastIP,
+			Msg: fmt.Sprintf("cycle budget %d exceeded", m.budgetLimit),
+		}
+		if e.task != nil {
+			f.Task = e.task.name
+		}
+		panic(f)
+	}
+}
 
 // load performs one demand load in the context (pid, as) and returns its
 // latency. It drives the TLB, the hierarchy and the prefetchers, and fills
@@ -156,7 +224,9 @@ func (m *Machine) advance(cycles uint64) { m.clock += cycles }
 func (m *Machine) load(ip uint64, v mem.VAddr, pid int, as *mem.AddressSpace) uint64 {
 	pa, ok := as.Translate(v)
 	if !ok {
-		panic(fmt.Sprintf("sim: segmentation fault: %s accessed unmapped %#x", as.Name, uint64(v)))
+		panic(&SimFault{
+			Kind: FaultSegfault, Cycle: m.clock, IP: ip, Addr: v, Space: as.Name,
+		})
 	}
 	tlbHit, walk := m.TLB.Lookup(as.ID, v)
 	level, lat := m.Mem.Load(pa)
@@ -210,6 +280,15 @@ func (m *Machine) domainSwitch(sameProcess bool) {
 		m.advance(uint64(m.Cfg.IPStride.Entries)) // one cycle per cleared entry (§8.3)
 	}
 }
+
+// InjectKernelNoise exposes the context-switch noise model for fault
+// injection and custom scenarios: `lines` kernel cache lines are touched, of
+// which the first `ipLoads` also pass through the prefetchers.
+func (m *Machine) InjectKernelNoise(lines, ipLoads int) { m.kernelNoise(lines, ipLoads) }
+
+// InjectStall advances the clock by the given number of cycles — an
+// injected pipeline stall (IPI service, interrupt, SMM excursion).
+func (m *Machine) InjectStall(cycles uint64) { m.advance(cycles) }
 
 // kernelNoise models the scheduler's own memory activity: `lines` cache
 // lines touched in kernel data (evicting attacker lines) of which

@@ -12,6 +12,7 @@ type task struct {
 	body   func(*Env)
 	resume chan struct{}
 	done   bool
+	fault  *SimFault
 }
 
 // Task is the public handle for a spawned task.
@@ -23,9 +24,14 @@ func (t *Task) Done() bool { return t.t.done }
 // Name returns the task's name.
 func (t *Task) Name() string { return t.t.name }
 
+// Fault returns the fault that terminated the task, or nil if it completed
+// normally (or has not finished yet).
+func (t *Task) Fault() *SimFault { return t.t.fault }
+
 type schedEvent struct {
-	from *task
-	done bool
+	from  *task
+	done  bool
+	fault *SimFault
 }
 
 // scheduler drives cooperative round-robin execution with strict handoff:
@@ -36,6 +42,7 @@ type scheduler struct {
 	events  chan schedEvent
 	running bool
 	current *task
+	faults  []*SimFault
 	// smtSwitch marks the next handoff as an SMT thread interleave: no
 	// context-switch cost, no kernel noise (the threads co-reside).
 	smtSwitch bool
@@ -53,25 +60,76 @@ func (m *Machine) Spawn(p *Process, name string, body func(*Env)) *Task {
 }
 
 // Run executes all spawned tasks to completion under cooperative
-// round-robin scheduling and returns the total cycles elapsed.
+// round-robin scheduling and returns the total cycles elapsed. A task fault
+// (panic, segfault, budget overrun) terminates that task and, once the
+// remaining tasks have drained, Run panics with the *SimFault; use
+// RunChecked or RunBudget for an error-returning path.
 func (m *Machine) Run() uint64 {
+	cycles, err := m.RunChecked()
+	if err != nil {
+		panic(err)
+	}
+	return cycles
+}
+
+// RunChecked is Run with errors instead of panics: every spawned task runs
+// until it completes or faults, faulting tasks are terminated and recorded
+// (see Faults), and the first fault — if any — is returned as a *SimFault.
+// Calling it re-entrantly (from inside a task body) returns an api-misuse
+// fault instead of deadlocking.
+func (m *Machine) RunChecked() (uint64, error) {
 	return m.sched.run()
 }
 
-func (s *scheduler) run() uint64 {
+// RunBudget is RunChecked under a cycle watchdog: once the machine clock has
+// advanced by more than maxCycles past the start of the run, every further
+// Env operation faults with a FaultBudget SimFault, deterministically
+// terminating runaway or never-yielding tasks. A zero budget disables the
+// watchdog for this run (Config.MaxCycles still applies if set).
+func (m *Machine) RunBudget(maxCycles uint64) (uint64, error) {
+	if maxCycles > 0 {
+		saved := m.budgetLimit
+		m.budgetLimit = m.clock + maxCycles
+		defer func() { m.budgetLimit = saved }()
+	}
+	return m.sched.run()
+}
+
+// Faults returns the faults collected during the last run, in the order
+// the tasks died.
+func (m *Machine) Faults() []*SimFault {
+	return append([]*SimFault(nil), m.sched.faults...)
+}
+
+func (s *scheduler) run() (uint64, error) {
 	if s.running {
-		panic("sim: Run called re-entrantly")
+		return 0, &SimFault{
+			Kind: FaultAPIMisuse, Domain: DomainUser, Cycle: s.m.Now(),
+			Msg: "Run called re-entrantly",
+		}
 	}
 	if len(s.tasks) == 0 {
-		return 0
+		return 0, nil
 	}
 	s.running = true
+	s.faults = nil
 	start := s.m.Now()
 
-	// Launch every task goroutine parked on its resume channel.
+	// Launch every task goroutine parked on its resume channel. A panic
+	// escaping the body — a misbehaving victim, a segfault, the budget
+	// watchdog — is recovered and forwarded as a normal "task done" event
+	// carrying the fault, so the scheduler never blocks on a dead task.
 	for _, t := range s.tasks {
 		t := t
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f := faultFrom(r, t.name, s.m.Now())
+					t.fault = f
+					t.done = true
+					s.events <- schedEvent{from: t, done: true, fault: f}
+				}
+			}()
 			<-t.resume
 			env := &Env{m: s.m, proc: t.proc, domain: DomainUser, task: t}
 			t.body(env)
@@ -84,6 +142,9 @@ func (s *scheduler) run() uint64 {
 	s.current.resume <- struct{}{}
 	for {
 		ev := <-s.events
+		if ev.fault != nil {
+			s.faults = append(s.faults, ev.fault)
+		}
 		next := s.next(ev.from)
 		if next == nil {
 			break // all done
@@ -96,14 +157,21 @@ func (s *scheduler) run() uint64 {
 	}
 	s.running = false
 	s.tasks = nil
-	return s.m.Now() - start
+	var err error
+	if len(s.faults) > 0 {
+		err = s.faults[0]
+	}
+	return s.m.Now() - start, err
 }
 
 // yield is called from a task goroutine: it notifies the scheduler and
 // blocks until resumed.
 func (s *scheduler) yield(t *task) {
 	if s.current != t {
-		panic(fmt.Sprintf("sim: yield from non-current task %q", t.name))
+		panic(&SimFault{
+			Kind: FaultAPIMisuse, Task: t.name, Domain: DomainUser, Cycle: s.m.Now(),
+			Msg: fmt.Sprintf("yield from non-current task %q", t.name),
+		})
 	}
 	s.events <- schedEvent{from: t}
 	<-t.resume

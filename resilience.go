@@ -1,0 +1,81 @@
+package afterimage
+
+import (
+	"fmt"
+
+	"afterimage/internal/faults"
+	"afterimage/internal/sim"
+)
+
+// SimFault re-exports the simulator's typed fault so callers can match
+// failures from the Run*E variants without importing internal packages:
+//
+//	res, err := lab.RunVariant1E(opts)
+//	var f *afterimage.SimFault
+//	if errors.As(err, &f) && f.Kind == afterimage.FaultBudget { ... }
+type SimFault = sim.SimFault
+
+// FaultKind re-exports the fault classification.
+type FaultKind = sim.FaultKind
+
+// The fault classes (see sim.FaultKind).
+const (
+	FaultPanic      = sim.FaultPanic
+	FaultSegfault   = sim.FaultSegfault
+	FaultBudget     = sim.FaultBudget
+	FaultBadSyscall = sim.FaultBadSyscall
+	FaultAPIMisuse  = sim.FaultAPIMisuse
+	FaultOOM        = sim.FaultOOM
+)
+
+// AsFault extracts a *SimFault from an error chain.
+func AsFault(err error) (*SimFault, bool) { return sim.AsFault(err) }
+
+// recoverAsError converts a panic escaping a Lab entry point into an error:
+// typed simulator faults pass through unchanged, anything else is wrapped.
+// It is the panic-recovery boundary of every Run*E variant — simulated code
+// (and the simulator's own watchdog) may panic, the library API does not.
+func recoverAsError(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch v := r.(type) {
+	case *sim.SimFault:
+		*err = v
+	case error:
+		*err = fmt.Errorf("afterimage: recovered panic: %w", v)
+	default:
+		*err = fmt.Errorf("afterimage: recovered panic: %v", v)
+	}
+}
+
+// NewLabE is NewLab with validation errors instead of panics (bad cache
+// geometry, invalid prefetcher configuration, physical-memory exhaustion).
+func NewLabE(opts Options) (l *Lab, err error) {
+	defer recoverAsError(&err)
+	return NewLab(opts), nil
+}
+
+// InjectFaults installs a deterministic fault-injection engine on the lab's
+// machine (replacing any previous one) and returns it for stats inspection.
+// The engine perturbs prefetcher, TLB, cache and scheduling state on a
+// seeded schedule — see internal/faults. A zero-intensity config removes
+// perturbation entirely.
+func (l *Lab) InjectFaults(cfg faults.Config) *faults.Engine {
+	eng := faults.New(cfg)
+	if eng.Enabled() {
+		l.m.SetPerturber(eng)
+	} else {
+		l.m.SetPerturber(nil)
+	}
+	return eng
+}
+
+// RunCovertChannelE is RunCovertChannel with graceful failure: symbols
+// received before a fault still count, and the fault surfaces as a typed
+// error.
+func (l *Lab) RunCovertChannelE(opts CovertOptions) (res CovertResult, err error) {
+	defer recoverAsError(&err)
+	return l.runCovertChannel(opts)
+}

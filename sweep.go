@@ -1,0 +1,156 @@
+package afterimage
+
+import (
+	"fmt"
+
+	"afterimage/internal/faults"
+)
+
+// SweepAttack selects which attack a fault sweep drives.
+type SweepAttack int
+
+// The sweepable attacks.
+const (
+	SweepV1Thread SweepAttack = iota
+	SweepV1Process
+	SweepV2Kernel
+	SweepCovert
+)
+
+// String names the attack (CLI spelling).
+func (a SweepAttack) String() string {
+	switch a {
+	case SweepV1Thread:
+		return "v1-thread"
+	case SweepV1Process:
+		return "v1-process"
+	case SweepV2Kernel:
+		return "v2-kernel"
+	case SweepCovert:
+		return "covert"
+	default:
+		return fmt.Sprintf("SweepAttack(%d)", int(a))
+	}
+}
+
+// seedOffset keeps each attack's lab seed aligned with FullReport's Table 3
+// runs, so a zero-intensity sweep point reproduces the reported success rate
+// exactly.
+func (a SweepAttack) seedOffset() int64 {
+	switch a {
+	case SweepV1Process:
+		return 1
+	case SweepV2Kernel:
+		return 2
+	case SweepCovert:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// SweepOptions configures RunFaultSweep.
+type SweepOptions struct {
+	// Attack is the experiment driven at each intensity.
+	Attack SweepAttack
+	// Intensities are the fault-engine intensities to sample; default
+	// {0, 0.5, 1, 2, 4}. Zero means no perturbation at all.
+	Intensities []float64
+	// Bits is the secret length per point (message bytes for the covert
+	// channel); default 32.
+	Bits int
+	// Faults is the engine template: Seed, Kinds, and EventsPerMCycle are
+	// taken from it, Intensity is overridden per point. A zero Seed derives
+	// one from the lab seed.
+	Faults faults.Config
+	// MaxCycles arms the per-point watchdog so a pathological point cannot
+	// hang the sweep; 0 leaves it off.
+	MaxCycles uint64
+}
+
+// SweepPoint is one (intensity → outcome) sample.
+type SweepPoint struct {
+	Intensity float64 `json:"intensity"`
+	// SuccessRate is the per-bit accuracy (1−ErrorRate for the covert
+	// channel).
+	SuccessRate float64 `json:"success_rate"`
+	// MeanConfidence averages the attack's per-bit confidence (0 for the
+	// covert channel, which has no per-bit score).
+	MeanConfidence float64 `json:"mean_confidence"`
+	Cycles         uint64  `json:"cycles"`
+	// FaultEvents is how many perturbations the engine applied.
+	FaultEvents uint64 `json:"fault_events"`
+	// Err records the fault that terminated the run early, if any; the
+	// success rate then covers only the bits observed before it.
+	Err string `json:"err,omitempty"`
+}
+
+// SweepResult is a success-rate-vs-fault-intensity curve.
+type SweepResult struct {
+	Attack string       `json:"attack"`
+	Model  string       `json:"model"`
+	Points []SweepPoint `json:"points"`
+}
+
+// RunFaultSweep measures how one attack degrades under increasing fault-
+// injection intensity: for each requested intensity it boots a fresh lab
+// (derived from this lab's options, with the FullReport-aligned seed
+// offset), installs a deterministic fault engine, runs the attack through
+// its error-hardened variant, and records accuracy, confidence and applied
+// perturbations. The whole curve is a pure function of the options and the
+// lab seed — rerunning with the same seed reproduces it point for point.
+func (l *Lab) RunFaultSweep(o SweepOptions) SweepResult {
+	if len(o.Intensities) == 0 {
+		o.Intensities = []float64{0, 0.5, 1, 2, 4}
+	}
+	if o.Bits <= 0 {
+		o.Bits = 32
+	}
+	labOpts := l.opts
+	labOpts.Seed += o.Attack.seedOffset()
+	if o.MaxCycles != 0 {
+		labOpts.MaxCycles = o.MaxCycles
+	}
+
+	res := SweepResult{Attack: o.Attack.String(), Model: l.ModelName()}
+	for _, intensity := range o.Intensities {
+		lab := NewLab(labOpts)
+		var eng *faults.Engine
+		if intensity > 0 {
+			fc := o.Faults
+			fc.Intensity = intensity
+			if fc.Seed == 0 {
+				fc.Seed = labOpts.Seed + 811
+			}
+			eng = lab.InjectFaults(fc)
+		}
+		pt := SweepPoint{Intensity: intensity}
+		var err error
+		switch o.Attack {
+		case SweepV1Process:
+			var r LeakResult
+			r, err = lab.RunVariant1E(V1Options{Bits: o.Bits, CrossProcess: true})
+			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+		case SweepV2Kernel:
+			var r V2Result
+			r, err = lab.RunVariant2E(V2Options{Bits: o.Bits})
+			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+		case SweepCovert:
+			var r CovertResult
+			r, err = lab.RunCovertChannelE(CovertOptions{Message: make([]byte, o.Bits)})
+			pt.SuccessRate, pt.Cycles = 1-r.ErrorRate(), r.Cycles
+		default:
+			var r LeakResult
+			r, err = lab.RunVariant1E(V1Options{Bits: o.Bits})
+			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+		}
+		if err != nil {
+			pt.Err = err.Error()
+		}
+		if eng != nil {
+			pt.FaultEvents = eng.Stats().Total
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}

@@ -70,6 +70,11 @@ type LeakResult struct {
 	Secret   []bool
 	Inferred []bool
 	Correct  int
+	// Confidence holds a per-bit evidence score in [0, 1], parallel to
+	// Inferred: how unambiguous the measurement behind each decision was
+	// (see core.StrideConfidence / core.LatencyConfidence). Clean runs sit
+	// near 1.0; fault injection pushes affected bits toward 0.
+	Confidence []float64
 	// Cycles is the simulated duration of the whole run.
 	Cycles uint64
 	// LastProbe carries the final round's per-line observation vector
@@ -85,11 +90,47 @@ func (r LeakResult) SuccessRate() float64 {
 	return float64(r.Correct) / float64(len(r.Secret))
 }
 
+// MeanConfidence averages the per-bit confidence scores (0 when none were
+// recorded).
+func (r LeakResult) MeanConfidence() float64 {
+	if len(r.Confidence) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Confidence {
+		sum += c
+	}
+	return sum / float64(len(r.Confidence))
+}
+
+// v1Backoff / pscBackoff are the re-training schedules: base rounds match
+// the historical fixed counts (so confident runs are cycle-for-cycle
+// unchanged), the caps bound the fault-recovery escalation.
+func v1Backoff() *core.Backoff  { return core.NewBackoff(4, 32) }
+func pscBackoff() *core.Backoff { return core.NewBackoff(3, 24) }
+
+// recalEvery is how many consecutive low-confidence readings trigger a
+// threshold recalibration in the Flush+Reload runners.
+const recalEvery = 3
+
 // RunVariant1 executes the §5.1 proof of concept and returns the per-bit
 // leak outcome (Figures 13a–c; success rates of §7.2). All three extraction
 // back-ends of Table 3 are available: Flush+Reload (default), Prime+Probe,
-// and the cache-primitive-free PSC.
+// and the cache-primitive-free PSC. A simulator fault panics with the
+// *SimFault; RunVariant1E is the error-returning variant.
 func (l *Lab) RunVariant1(opts V1Options) LeakResult {
+	res, err := l.RunVariant1E(opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunVariant1E is RunVariant1 with graceful failure: a panicking victim, a
+// segfault, or the cycle-budget watchdog surfaces as a typed error (usually
+// a *sim.SimFault) alongside the bits leaked before the fault.
+func (l *Lab) RunVariant1E(opts V1Options) (res LeakResult, err error) {
+	defer recoverAsError(&err)
 	opts.fill(l)
 	switch opts.Backend {
 	case PrimeProbe:
@@ -104,7 +145,7 @@ func (l *Lab) RunVariant1(opts V1Options) LeakResult {
 // runV1PSC leaks the branch direction without any cache primitive: one PSC
 // chain per path; the chain whose entry the victim re-learned identifies
 // the taken direction (§6.1's standalone extraction applied to Variant 1).
-func (l *Lab) runV1PSC(opts V1Options) LeakResult {
+func (l *Lab) runV1PSC(opts V1Options) (LeakResult, error) {
 	m := l.m
 	attProc := m.NewProcess("attacker")
 	vicProc := attProc
@@ -122,25 +163,36 @@ func (l *Lab) runV1PSC(opts V1Options) LeakResult {
 		pscElse := core.NewPSC(e, core.IPWithLow8(0x41_0000, uint8(vic.IPElse)), 7, 128)
 		pscIf.Train(e, 4)
 		pscElse.Train(e, 4)
+		bo := pscBackoff()
 		for range opts.Secret {
-			pscIf.Train(e, 3)
-			pscElse.Train(e, 3)
+			pscIf.Train(e, bo.Rounds())
+			pscElse.Train(e, bo.Rounds())
 			e.Yield()
-			ifTouched := !pscIf.Check(e)
-			elseTouched := !pscElse.Check(e)
+			ifHit, ifLat := pscIf.CheckLat(e)
+			elseHit, elseLat := pscElse.CheckLat(e)
+			ifTouched := !ifHit
+			elseTouched := !elseHit
 			// The victim executed exactly one path; when noise blurs both
 			// signals, prefer the if-path evidence.
 			res.Inferred = append(res.Inferred, ifTouched && !elseTouched || ifTouched && elseTouched)
+			thr := e.HitThreshold()
+			conf := (core.LatencyConfidence(ifLat, thr) + core.LatencyConfidence(elseLat, thr)) / 2
+			res.Confidence = append(res.Confidence, conf)
+			if conf < core.LowConfidence {
+				bo.Escalate()
+			} else {
+				bo.Reset()
+			}
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
-	m.Run()
+	_, runErr := m.RunChecked()
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
-	return res
+	return res, runErr
 }
 
-func (l *Lab) runV1FlushReload(opts V1Options) LeakResult {
+func (l *Lab) runV1FlushReload(opts V1Options) (LeakResult, error) {
 	m := l.m
 	attProc := m.NewProcess("attacker")
 	vicProc := attProc
@@ -163,13 +215,38 @@ func (l *Lab) runV1FlushReload(opts V1Options) LeakResult {
 			{IP: core.IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: opts.IfStride},
 			{IP: core.IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: opts.ElseStride},
 		})
+		bo := v1Backoff()
+		cal := core.NewCalibrator()
+		var calPage *mem.Mapping
+		candidates := []int64{opts.IfStride, opts.ElseStride}
 		for range opts.Secret {
-			g.Train(e, 4)
+			g.Train(e, bo.Rounds())
 			fr.FlushPage(e, shared.Base)
 			e.Yield()
 			lats, hits := fr.ReloadPage(e, shared.Base)
-			s, ok := core.DetectStride(hits, []int64{opts.IfStride, opts.ElseStride})
+			s, ok := core.DetectStride(hits, candidates)
 			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
+			var conf float64
+			if ok {
+				conf = core.StrideConfidence(hits, s, candidates)
+			} else {
+				conf = core.AbsenceConfidence(hits)
+			}
+			res.Confidence = append(res.Confidence, conf)
+			if conf < core.LowConfidence {
+				if n := bo.Escalate(); n%recalEvery == 0 {
+					// Persistent ambiguity: the latency split itself may have
+					// drifted. Re-measure it on a private scratch line.
+					if calPage == nil {
+						calPage = e.Mmap(mem.PageSize, mem.MapLocked)
+					}
+					if thr := cal.Measure(e, calPage.Base+17*core.LineSize, 6); thr != 0 {
+						fr.Threshold = thr
+					}
+				}
+			} else {
+				bo.Reset()
+			}
 			res.LastProbe = res.LastProbe[:0]
 			for _, lat := range lats {
 				res.LastProbe = append(res.LastProbe, int64(lat))
@@ -177,13 +254,13 @@ func (l *Lab) runV1FlushReload(opts V1Options) LeakResult {
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
-	m.Run()
+	_, runErr := m.RunChecked()
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
-	return res
+	return res, runErr
 }
 
-func (l *Lab) runV1PrimeProbe(opts V1Options) LeakResult {
+func (l *Lab) runV1PrimeProbe(opts V1Options) (LeakResult, error) {
 	m := l.m
 	proc := m.NewProcess("shared-space") // P+P demo runs in one address space (§7.2, artifact A.4)
 	env := m.Direct(proc)
@@ -196,12 +273,12 @@ func (l *Lab) runV1PrimeProbe(opts V1Options) LeakResult {
 	}
 	builder, err := evict.NewBuilder(env, poolPages, 0x10e0, 0x20e0)
 	if err != nil {
-		panic(err)
+		return LeakResult{Secret: opts.Secret}, err
 	}
 	pa, _ := proc.AS.Translate(page.Base)
 	pm, err := core.NewPageMonitor(env, builder, pa)
 	if err != nil {
-		panic(err)
+		return LeakResult{Secret: opts.Secret}, err
 	}
 	for _, s := range pm.Sets {
 		for _, line := range s.Lines {
@@ -217,14 +294,28 @@ func (l *Lab) runV1PrimeProbe(opts V1Options) LeakResult {
 			{IP: core.IPWithLow8(0x40_0000, uint8(vic.IPIf)), StrideLines: opts.IfStride},
 			{IP: core.IPWithLow8(0x40_0100, uint8(vic.IPElse)), StrideLines: opts.ElseStride},
 		})
+		bo := v1Backoff()
+		candidates := []int64{opts.IfStride, opts.ElseStride}
 		for range opts.Secret {
-			g.Train(e, 4)
+			g.Train(e, bo.Rounds())
 			pm.Prime(e)
 			e.Yield()
 			deltas := pm.Probe(e)
 			hits := core.HitLines(deltas, 120)
-			s, ok := core.DetectStride(hits, []int64{opts.IfStride, opts.ElseStride})
+			s, ok := core.DetectStride(hits, candidates)
 			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
+			var conf float64
+			if ok {
+				conf = core.StrideConfidence(hits, s, candidates)
+			} else {
+				conf = core.AbsenceConfidence(hits)
+			}
+			res.Confidence = append(res.Confidence, conf)
+			if conf < core.LowConfidence {
+				bo.Escalate()
+			} else {
+				bo.Reset()
+			}
 			res.LastProbe = append(res.LastProbe[:0], deltas...)
 		}
 	})
@@ -234,10 +325,10 @@ func (l *Lab) runV1PrimeProbe(opts V1Options) LeakResult {
 			e.Yield()
 		}
 	})
-	m.Run()
+	_, runErr := m.RunChecked()
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
-	return res
+	return res, runErr
 }
 
 // V2Options configures the user→kernel Variant 2 (§5.2).
@@ -261,8 +352,29 @@ type V2Result struct {
 }
 
 // RunVariant2 executes the §5.2 kernel-boundary proof of concept
-// (Figure 14a; the 91 % success rate of §7.2).
+// (Figure 14a; the 91 % success rate of §7.2). A simulator fault panics;
+// RunVariant2E is the error-returning variant.
 func (l *Lab) RunVariant2(opts V2Options) V2Result {
+	res, err := l.RunVariant2E(opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunVariant2E is RunVariant2 with graceful failure: the bits leaked before
+// a fault are returned alongside the typed error.
+func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
+	start := l.m.Now()
+	defer func() {
+		// A fault in this direct-env path unwinds past the normal scoring
+		// below; score whatever was leaked so the partial result is honest.
+		if err != nil {
+			res.Cycles = l.m.Now() - start
+			res.Correct = boolsEqual(res.Secret, res.Inferred)
+		}
+	}()
+	defer recoverAsError(&err)
 	if opts.Bits <= 0 && opts.Secret == nil {
 		opts.Bits = 16
 	}
@@ -279,7 +391,7 @@ func (l *Lab) RunVariant2(opts V2Options) V2Result {
 	env.WarmTLB(shared.Base)
 	fr := core.NewFlushReload()
 
-	res := V2Result{LeakResult: LeakResult{Secret: opts.Secret}}
+	res = V2Result{LeakResult: LeakResult{Secret: opts.Secret}}
 	low8 := uint8(kv.LoadIP)
 	if opts.UseIPSearch {
 		// Search against an always-taken oracle victim on syscall 334.
@@ -287,40 +399,71 @@ func (l *Lab) RunVariant2(opts V2Options) V2Result {
 		searchVic.LoadIP = kv.LoadIP
 		s := core.NewIPSearch()
 		s.StrideLines = opts.Stride
-		found, err := s.Run(env, shared.Base, func(e *sim.Env) {
+		found, serr := s.Run(env, shared.Base, func(e *sim.Env) {
 			e.Syscall(334, uint64(shared.Base))
 		})
-		if err == nil {
+		if serr == nil {
 			low8 = found
 			res.IPSearched = true
 		}
 	}
 	res.FoundIPLow8 = low8
 
-	start := m.Now()
+	start = m.Now()
 	if opts.Backend == PSC {
 		// Standalone extraction: no reload sweep, a single status check per
 		// syscall (§6.1's speed advantage).
 		psc := core.NewPSC(env, core.IPWithLow8(0x40_0000, low8), opts.Stride, 128)
 		psc.Train(env, 4)
+		bo := pscBackoff()
 		for range opts.Secret {
-			psc.Train(env, 3)
+			psc.Train(env, bo.Rounds())
 			env.WarmTLB(shared.Base)
 			env.Syscall(333, uint64(shared.Base))
-			res.Inferred = append(res.Inferred, !psc.Check(env))
+			hit, lat := psc.CheckLat(env)
+			res.Inferred = append(res.Inferred, !hit)
+			conf := core.LatencyConfidence(lat, env.HitThreshold())
+			res.Confidence = append(res.Confidence, conf)
+			if conf < core.LowConfidence {
+				bo.Escalate()
+			} else {
+				bo.Reset()
+			}
 		}
 	} else {
 		g := core.MustNewGadget(env, []core.TrainEntry{
 			{IP: core.IPWithLow8(0x40_0000, low8), StrideLines: opts.Stride},
 		})
+		bo := v1Backoff()
+		cal := core.NewCalibrator()
+		var calPage *mem.Mapping
 		for range opts.Secret {
-			g.Train(env, 4)
+			g.Train(env, bo.Rounds())
 			fr.FlushPage(env, shared.Base)
 			env.WarmTLB(shared.Base)
 			env.Syscall(333, uint64(shared.Base))
 			lats, hits := fr.ReloadPage(env, shared.Base)
 			_, ok := core.DetectStride(hits, []int64{opts.Stride})
 			res.Inferred = append(res.Inferred, ok)
+			var conf float64
+			if ok {
+				conf = core.StrideConfidence(hits, opts.Stride, nil)
+			} else {
+				conf = core.AbsenceConfidence(hits)
+			}
+			res.Confidence = append(res.Confidence, conf)
+			if conf < core.LowConfidence {
+				if n := bo.Escalate(); n%recalEvery == 0 {
+					if calPage == nil {
+						calPage = env.Mmap(mem.PageSize, mem.MapLocked)
+					}
+					if thr := cal.Measure(env, calPage.Base+17*core.LineSize, 6); thr != 0 {
+						fr.Threshold = thr
+					}
+				}
+			} else {
+				bo.Reset()
+			}
 			res.LastProbe = res.LastProbe[:0]
 			for _, lat := range lats {
 				res.LastProbe = append(res.LastProbe, int64(lat))
@@ -329,7 +472,7 @@ func (l *Lab) RunVariant2(opts V2Options) V2Result {
 	}
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
-	return res
+	return res, nil
 }
 
 // DiscoverEvictionSet exercises the timing-only eviction-set discovery
@@ -337,6 +480,7 @@ func (l *Lab) RunVariant2(opts V2Options) V2Result {
 // it finds a minimal eviction set for a fresh target line and reports its
 // size and the number of evicts-target trials consumed.
 func (l *Lab) DiscoverEvictionSet() (lines, trials int, err error) {
+	defer recoverAsError(&err)
 	m := l.m
 	env := m.Direct(m.NewProcess("attacker"))
 	target := env.Mmap(mem.PageSize, mem.MapLocked).Base + 5*mem.LineSize
@@ -360,8 +504,27 @@ type SGXResult struct {
 	Time24, Time40 uint64
 }
 
-// RunSGX executes the §5.4 enclave control-flow leak.
+// RunSGX executes the §5.4 enclave control-flow leak. A simulator fault
+// panics; RunSGXE is the error-returning variant.
 func (l *Lab) RunSGX(bits int, secret []bool) SGXResult {
+	res, err := l.RunSGXE(bits, secret)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunSGXE is RunSGX with graceful failure: the bits leaked before a fault
+// are returned alongside the typed error.
+func (l *Lab) RunSGXE(bits int, secret []bool) (res SGXResult, err error) {
+	start := l.m.Now()
+	defer func() {
+		if err != nil {
+			res.Cycles = l.m.Now() - start
+			res.Correct = boolsEqual(res.Secret, res.Inferred)
+		}
+	}()
+	defer recoverAsError(&err)
 	if bits <= 0 && secret == nil {
 		bits = 16
 	}
@@ -374,8 +537,8 @@ func (l *Lab) RunSGX(bits int, secret []bool) SGXResult {
 	vic := victim.NewSGXSecret(buf.Base)
 	fr := core.NewFlushReload()
 
-	res := SGXResult{LeakResult: LeakResult{Secret: secret}}
-	start := m.Now()
+	res = SGXResult{LeakResult: LeakResult{Secret: secret}}
+	start = m.Now()
 	for _, s := range secret {
 		fr.FlushPage(env, buf.Base)
 		vic.ECall(env, s)
@@ -385,8 +548,11 @@ func (l *Lab) RunSGX(bits int, secret []bool) SGXResult {
 		t40, hit40 := fr.ReloadLine(env, x2)
 		res.Time24, res.Time40 = t24, t40
 		res.Inferred = append(res.Inferred, hit40 && !hit24)
+		thr := env.HitThreshold()
+		conf := (core.LatencyConfidence(t24, thr) + core.LatencyConfidence(t40, thr)) / 2
+		res.Confidence = append(res.Confidence, conf)
 	}
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
-	return res
+	return res, nil
 }
