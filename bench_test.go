@@ -267,3 +267,29 @@ func BenchmarkSGXLeak(b *testing.B) {
 	}
 	b.ReportMetric(rate*100, "success-%")
 }
+
+// BenchmarkV1TelemetryOff measures the full Variant-1 attack with telemetry
+// in its default state: phase accounting on (always), event recording off.
+// This is the seed-equivalent configuration — compare against
+// BenchmarkV1TelemetryTrace to bound the disabled-path overhead:
+//
+//	go test -bench 'BenchmarkV1Telemetry' -count 10 .
+//
+// The disabled path must stay within noise (<2%) of the seed: every Emit
+// site is guarded by Hub.TraceEnabled (two compares, no event construction).
+func BenchmarkV1TelemetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := NewLab(Options{Seed: int64(i + 1), Quiet: true})
+		lab.RunVariant1(V1Options{Bits: 16})
+	}
+}
+
+// BenchmarkV1TelemetryTrace is the same attack with full event recording into
+// the default 256k ring — the price of -trace, for comparison.
+func BenchmarkV1TelemetryTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := NewLab(Options{Seed: int64(i + 1), Quiet: true})
+		lab.EnableTrace(0)
+		lab.RunVariant1(V1Options{Bits: 16})
+	}
+}

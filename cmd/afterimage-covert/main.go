@@ -8,8 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 )
 
 func main() {
@@ -19,9 +21,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		slot    = flag.Uint64("slot", 0, "override the half-round slot in cycles (0 = 3 ms)")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	lab := afterimage.NewLab(afterimage.Options{Seed: *seed})
+	obs.Observe(lab)
 	res := lab.RunCovertChannel(afterimage.CovertOptions{
 		Message:    []byte(*msg),
 		Entries:    *entries,
@@ -35,6 +40,10 @@ func main() {
 	fmt.Printf("raw rate:     %.0f bps\n", res.RawBps(perCycle))
 	fmt.Printf("goodput:      %.0f bps\n", res.Bps(perCycle))
 	fmt.Printf("elapsed:      %.1f ms simulated\n", lab.Seconds(res.Cycles)*1e3)
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-covert: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func plural(n int) string {

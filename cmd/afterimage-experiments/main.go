@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 	"afterimage/internal/faults"
 	"afterimage/internal/textplot"
 )
@@ -22,6 +23,10 @@ type experiment struct {
 	run   func(seed int64)
 }
 
+// obs is shared with the lab constructors below so -trace/-metrics apply to
+// the last lab an experiment builds.
+var obs *cliobs.Flags
+
 func main() {
 	var (
 		seed   = flag.Int64("seed", 1, "master seed (equal seeds reproduce runs exactly)")
@@ -30,7 +35,9 @@ func main() {
 		report = flag.String("report", "", "write the machine-readable JSON report to this file and exit")
 		csvDir = flag.String("csv", "", "write per-figure CSV data series into this directory and exit")
 	)
+	obs = cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir, *seed); err != nil {
@@ -116,6 +123,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *run)
 		os.Exit(1)
 	}
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d/%d experiments failed: %s\n",
 			len(failed), ran, strings.Join(failed, ", "))
@@ -142,11 +153,15 @@ func runExperiment(e experiment, seed int64) (err error) {
 }
 
 func quietLab(seed int64) *afterimage.Lab {
-	return afterimage.NewLab(afterimage.Options{Seed: seed, Quiet: true})
+	lab := afterimage.NewLab(afterimage.Options{Seed: seed, Quiet: true})
+	obs.Observe(lab)
+	return lab
 }
 
 func noisyLab(seed int64) *afterimage.Lab {
-	return afterimage.NewLab(afterimage.Options{Seed: seed})
+	lab := afterimage.NewLab(afterimage.Options{Seed: seed})
+	obs.Observe(lab)
+	return lab
 }
 
 func runFig6(seed int64) {

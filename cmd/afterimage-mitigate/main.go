@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 )
 
 func main() {
@@ -19,7 +20,9 @@ func main() {
 		flush = flag.Uint64("interval", 30_000, "flush interval in cycles (30 000 = 10 µs at 3 GHz)")
 		seed  = flag.Int64("seed", 1, "deterministic seed")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	res, err := afterimage.RunMitigationStudy(afterimage.MitigationOptions{
 		Instructions:        *instr,
@@ -50,6 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afterimage-mitigate: security check unavailable: %v\n", err)
 		os.Exit(1)
 	}
+	obs.Observe(lab)
 	leak, err := lab.RunVariant1E(afterimage.V1Options{Bits: 64})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afterimage-mitigate: security check faulted after %d/64 rounds: %v\n",
@@ -64,4 +68,8 @@ func main() {
 	}
 	fmt.Printf("attack under mitigation: %d/%d rounds produced any signal (0 = fully blocked)\n",
 		positives, len(leak.Inferred))
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-mitigate: %v\n", err)
+		os.Exit(1)
+	}
 }

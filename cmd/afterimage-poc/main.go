@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 )
 
 func main() {
@@ -21,7 +22,9 @@ func main() {
 		miti      = flag.Bool("mitigate", false, "enable the clear-ip-prefetcher mitigation")
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle-budget watchdog (0 = off): abort with a typed fault once exceeded")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	opts := afterimage.Options{Seed: *seed, MitigationFlush: *miti, MaxCycles: *maxCycles}
 	if *model == "haswell" {
@@ -32,6 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afterimage-poc: cannot boot the simulated machine: %v\n", err)
 		os.Exit(1)
 	}
+	obs.Observe(lab)
 	fmt.Printf("machine: %s (mitigation=%v)\n", lab.ModelName(), *miti)
 
 	// show prints whatever the run produced — on a fault these are the bits
@@ -80,6 +84,10 @@ func main() {
 	}
 
 	show(res)
+	if oerr := obs.Finish(); oerr != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-poc: %v\n", oerr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afterimage-poc: experiment terminated early after %d/%d bits\n",
 			len(res.Inferred), len(res.Secret))

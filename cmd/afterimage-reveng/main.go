@@ -8,8 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 )
 
 func main() {
@@ -17,13 +19,16 @@ func main() {
 		seed  = flag.Int64("seed", 1, "deterministic seed")
 		model = flag.String("model", "coffeelake", "coffeelake | haswell")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	opts := afterimage.Options{Seed: *seed, Quiet: true}
 	if *model == "haswell" {
 		opts.Model = afterimage.Haswell
 	}
 	lab := afterimage.NewLab(opts)
+	obs.Observe(lab)
 	fmt.Printf("reverse-engineering the IP-stride prefetcher on %s\n\n", lab.ModelName())
 
 	fmt.Println("[Figure 6] index bits: access time of the prefetch target vs matched low IP bits")
@@ -68,4 +73,8 @@ func main() {
 
 	hit, at := lab.SGXRetention()
 	fmt.Printf("\n[§4.6] prefetched line valid after enclave exit: %v (%d cycles)\n", hit, at)
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-reveng: %v\n", err)
+		os.Exit(1)
+	}
 }

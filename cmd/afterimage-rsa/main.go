@@ -7,8 +7,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"afterimage"
+	"afterimage/internal/cliobs"
 )
 
 func main() {
@@ -19,9 +21,12 @@ func main() {
 		pipe    = flag.Bool("pipelined", false, "observe all bits per decryption (library extension)")
 		fast    = flag.Bool("fast", false, "use a fast victim profile instead of the paper's -O0 model")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start()
 
 	lab := afterimage.NewLab(afterimage.Options{Seed: *seed})
+	obs.Observe(lab)
 	opts := afterimage.RSAOptions{KeyBits: *keyBits, ItersPerBit: *iters, Pipelined: *pipe}
 	if *fast {
 		opts.VictimIterationCycles = 6000
@@ -44,5 +49,9 @@ func main() {
 	if *pipe {
 		fmt.Println("pipelined mode: all bits observed per decryption — the attack cost")
 		fmt.Println("collapses to ItersPerBit decryptions when the attacker keeps ladder pace.")
+	}
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-rsa: %v\n", err)
+		os.Exit(1)
 	}
 }

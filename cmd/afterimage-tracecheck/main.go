@@ -1,0 +1,45 @@
+// Command afterimage-tracecheck validates a Chrome trace_event JSON file
+// produced by the -trace flag of the other afterimage binaries: the
+// trace-event schema (object format, known phase types, non-negative
+// timestamps, balanced B/E pairs per track). Exit status 0 means the file
+// loads in chrome://tracing and Perfetto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"afterimage/internal/telemetry"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the per-file summary on success")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: afterimage-tracecheck [-q] trace.json ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		n, err := telemetry.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid trace: %v\n", path, err)
+			failed++
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok (%d trace events)\n", path, n)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -165,6 +165,7 @@ func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
 				e.Sleep(slotEnd - now) // wait out the agreed slot
 			}
 			e.Yield()
+			e.BeginPhase("probe")
 			for i := range rxs {
 				if r*entries+i >= len(symbols) {
 					break
@@ -175,6 +176,7 @@ func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
 				}
 				decoded = append(decoded, sym)
 			}
+			e.EndPhase()
 		}
 	})
 	m.Spawn(sndProc, "sender", func(e *sim.Env) {
@@ -184,6 +186,7 @@ func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
 		}
 		for r := 0; r < rounds; r++ {
 			slotEnd := e.Now() + opts.SlotCycles
+			e.BeginPhase("train")
 			for i := range txs {
 				idx := r*entries + i
 				if idx >= len(symbols) {
@@ -191,6 +194,7 @@ func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
 				}
 				_ = txs[i].Send(e, symbols[idx])
 			}
+			e.EndPhase()
 			if now := e.Now(); now < slotEnd {
 				e.Sleep(slotEnd - now)
 			}

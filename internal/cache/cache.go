@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"afterimage/internal/mem"
+	"afterimage/internal/telemetry"
 )
 
 // Config shapes one cache level.
@@ -239,10 +240,31 @@ func (c *Cache) RemoveLine(line uint64) bool {
 }
 
 // Stats reports cumulative hits and misses observed by Access.
+//
+// Deprecated: read the same values from the machine's telemetry registry
+// (<prefix>.hits / <prefix>.misses, via RegisterMetrics). Kept so existing
+// callers and the golden report stay stable; both views sample the same
+// counters and always agree.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
-// ResetStats clears the hit/miss counters.
-func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+// ResetStats clears every cumulative counter: hits, misses, prefetch fills
+// and useful-prefetch credits. (It previously left the prefetch counters
+// running, which skewed any accuracy ratio computed after a reset.)
+func (c *Cache) ResetStats() {
+	c.hits, c.misses = 0, 0
+	c.prefetchFills, c.usefulPrefetch = 0, 0
+}
+
+// RegisterMetrics exposes the cache's counters in reg under prefix
+// (e.g. "cache.l1"): <prefix>.hits, .misses, .prefetch_fills,
+// .useful_prefetches. Samplers read the live counters, so snapshots always
+// match Stats()/PrefetchStats() exactly and the hot path pays nothing.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".hits", func() uint64 { return c.hits })
+	reg.RegisterFunc(prefix+".misses", func() uint64 { return c.misses })
+	reg.RegisterFunc(prefix+".prefetch_fills", func() uint64 { return c.prefetchFills })
+	reg.RegisterFunc(prefix+".useful_prefetches", func() uint64 { return c.usefulPrefetch })
+}
 
 // SliceHash is the standalone XOR-folding slice hash: it computes, for a
 // power-of-two slice count, each selection bit as the parity of a fixed

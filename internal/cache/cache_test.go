@@ -321,3 +321,49 @@ func TestPrefetchUsefulnessAccounting(t *testing.T) {
 		t.Fatalf("demand fill contaminated stats: %d/%d", fills, useful)
 	}
 }
+
+// TestResetStatsClearsAllCounters pins the fix for the reset asymmetry:
+// ResetStats used to clear hits/misses but leave the prefetch-fill and
+// useful-prefetch counters running, so any accuracy ratio computed after a
+// reset mixed epochs.
+func TestResetStatsClearsAllCounters(t *testing.T) {
+	c := MustNew(small(LRU))
+	c.Fill(0x1000)
+	c.Access(0x1000) // hit
+	c.Access(0x8000) // miss
+	c.FillPrefetch(0x2000)
+	c.Access(0x2000) // useful prefetch (and a hit)
+
+	if h, m := c.Stats(); h == 0 || m == 0 {
+		t.Fatalf("setup: hits=%d misses=%d", h, m)
+	}
+	if f, u := c.PrefetchStats(); f != 1 || u != 1 {
+		t.Fatalf("setup: fills=%d useful=%d", f, u)
+	}
+
+	c.ResetStats()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("after reset: hits=%d misses=%d", h, m)
+	}
+	if f, u := c.PrefetchStats(); f != 0 || u != 0 {
+		t.Fatalf("after reset prefetch counters survived: fills=%d useful=%d", f, u)
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h, _ := NewHierarchy(HierarchyConfig{
+		L1: small(LRU), L2: small(LRU), LLC: small(LRU),
+		Lat: Latencies{L1: 4, L2: 12, LLC: 40, DRAM: 200},
+	})
+	h.Load(0x1000)
+	h.Prefetch(0x2000)
+	h.ResetStats()
+	for _, c := range []*Cache{h.L1, h.L2, h.LLC} {
+		if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+			t.Fatalf("%s: hits=%d misses=%d after reset", c.Config().Name, hits, misses)
+		}
+		if f, u := c.PrefetchStats(); f != 0 || u != 0 {
+			t.Fatalf("%s: fills=%d useful=%d after reset", c.Config().Name, f, u)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"afterimage/internal/mem"
+	"afterimage/internal/telemetry"
 )
 
 // Level identifies where an access was served.
@@ -159,6 +160,21 @@ func (h *Hierarchy) fillL1(p mem.PAddr) {
 
 func (h *Hierarchy) fillL2(p mem.PAddr) {
 	h.L2.Fill(p)
+}
+
+// RegisterMetrics exposes all three levels in reg under the cache.l1,
+// cache.l2 and cache.llc namespaces.
+func (h *Hierarchy) RegisterMetrics(reg *telemetry.Registry) {
+	h.L1.RegisterMetrics(reg, "cache.l1")
+	h.L2.RegisterMetrics(reg, "cache.l2")
+	h.LLC.RegisterMetrics(reg, "cache.llc")
+}
+
+// ResetStats clears the counters of every level.
+func (h *Hierarchy) ResetStats() {
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.LLC.ResetStats()
 }
 
 // Flush removes the line of p from every level (clflush).

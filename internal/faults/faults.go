@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"afterimage/internal/sim"
+	"afterimage/internal/telemetry"
 )
 
 // Kind is one class of injected perturbation.
@@ -162,6 +163,17 @@ func (e *Engine) Config() Config { return e.cfg }
 // Stats returns a copy of the applied-event counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// RegisterMetrics exposes the applied-event counters in reg: faults.injected
+// plus faults.<kind> per perturbation class. Samplers read the live counters,
+// so snapshots always match Stats() exactly.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterFunc("faults.injected", func() uint64 { return e.stats.Total })
+	for _, k := range AllKinds() {
+		k := k
+		reg.RegisterFunc("faults."+k.String(), func() uint64 { return e.stats.ByKind[k] })
+	}
+}
+
 // Enabled reports whether the engine will ever fire.
 func (e *Engine) Enabled() bool { return e.rate > 0 }
 
@@ -219,6 +231,12 @@ func (e *Engine) Perturb(m *sim.Machine, now uint64) {
 func (e *Engine) apply(m *sim.Machine, ev Event) {
 	e.stats.Total++
 	e.stats.ByKind[ev.Kind]++
+	if tel := m.Telemetry(); tel.TraceEnabled() {
+		tel.Emit(telemetry.Event{
+			Kind: telemetry.EvFaultInject, Cycle: ev.Cycle,
+			Arg1: uint64(ev.Kind), Label: ev.Kind.String(),
+		})
+	}
 	switch ev.Kind {
 	case EvictEntry:
 		slots := m.Cfg.IPStride.Entries

@@ -23,6 +23,7 @@ import (
 
 	"afterimage/internal/cache"
 	"afterimage/internal/mem"
+	"afterimage/internal/telemetry"
 )
 
 // Access describes one demand load as seen by the prefetchers.
@@ -94,11 +95,13 @@ type IPStride struct {
 	NextPage bool
 
 	stats Stats
+	tel   *telemetry.Hub // nil unless SetTelemetry; emits are trace-guarded
 }
 
 // Stats counts prefetcher activity.
 type Stats struct {
 	Lookups    uint64
+	Trains     uint64 // updates of an existing history entry
 	Allocs     uint64
 	Evictions  uint64
 	Prefetches uint64
@@ -135,7 +138,34 @@ func NewIPStride(cfg IPStrideConfig) *IPStride {
 func (p *IPStride) Config() IPStrideConfig { return p.cfg }
 
 // Stats returns a copy of the activity counters.
+//
+// Deprecated: read the same values from the machine's telemetry registry
+// (prefetcher.ipstride.*, via RegisterMetrics). Kept so existing callers
+// stay stable; both views sample the same counters and always agree.
 func (p *IPStride) Stats() Stats { return p.stats }
+
+// ResetStats clears every activity counter.
+func (p *IPStride) ResetStats() { p.stats = Stats{} }
+
+// SetTelemetry attaches the machine's hub so table mutations and issued
+// prefetches are traced. All emits are guarded by TraceEnabled, so a nil or
+// trace-disabled hub costs two compares per guarded site.
+func (p *IPStride) SetTelemetry(h *telemetry.Hub) { p.tel = h }
+
+// RegisterMetrics exposes the activity counters in reg under prefix
+// (e.g. "prefetcher.ipstride"): .lookups, .trains, .allocs, .evictions,
+// .prefetches, .page_drops, .tlb_skips, .flushes. Samplers read the live
+// counters, so snapshots always match Stats() exactly.
+func (p *IPStride) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".lookups", func() uint64 { return p.stats.Lookups })
+	reg.RegisterFunc(prefix+".trains", func() uint64 { return p.stats.Trains })
+	reg.RegisterFunc(prefix+".allocs", func() uint64 { return p.stats.Allocs })
+	reg.RegisterFunc(prefix+".evictions", func() uint64 { return p.stats.Evictions })
+	reg.RegisterFunc(prefix+".prefetches", func() uint64 { return p.stats.Prefetches })
+	reg.RegisterFunc(prefix+".page_drops", func() uint64 { return p.stats.PageDrops })
+	reg.RegisterFunc(prefix+".tlb_skips", func() uint64 { return p.stats.TLBSkips })
+	reg.RegisterFunc(prefix+".flushes", func() uint64 { return p.stats.Flushes })
+}
 
 // tagOf derives the lookup tag for an access.
 func (p *IPStride) tagOf(ip uint64) uint64 { return ip & p.mask }
@@ -182,6 +212,9 @@ func (p *IPStride) Flush() {
 		p.entries[i] = Entry{}
 	}
 	p.stats.Flushes++
+	if p.tel.TraceEnabled() {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPTFlush})
+	}
 }
 
 // EvictSlot invalidates the history entry in physical slot i — a targeted
@@ -191,6 +224,9 @@ func (p *IPStride) Flush() {
 func (p *IPStride) EvictSlot(i int) bool {
 	if i < 0 || i >= len(p.entries) || !p.entries[i].Valid {
 		return false
+	}
+	if p.tel.TraceEnabled() {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPTEvict, Arg1: uint64(i), Arg2: p.entries[i].Tag})
 	}
 	p.entries[i] = Entry{}
 	p.stats.Evictions++
@@ -267,8 +303,10 @@ func (p *IPStride) OnLoad(a Access) []Request {
 	}
 	e := &p.entries[idx]
 	p.policy.Touch(idx)
+	p.stats.Trains++
 
 	distance := int64(a.PA) - int64(e.LastAddr)
+	prevConf := e.Confidence
 	var reqs []Request
 
 	if e.Confidence >= p.cfg.TriggerThreshold {
@@ -292,6 +330,9 @@ func (p *IPStride) OnLoad(a Access) []Request {
 			}
 		}
 	}
+	if e.Confidence != prevConf && p.tel.TraceEnabled() {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPTConfidence, Arg1: uint64(idx), Arg2: uint64(e.Confidence)})
+	}
 	e.LastAddr = a.PA
 	return reqs
 }
@@ -310,9 +351,15 @@ func (p *IPStride) issue(base mem.PAddr, stride int64, reqs []Request) []Request
 	target := mem.PAddr(int64(base) + stride)
 	if !samePage(base, target) {
 		p.stats.PageDrops++
+		if p.tel.TraceEnabled() {
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvPrefetchDrop, Arg1: uint64(base), Label: "ip-stride"})
+		}
 		return reqs
 	}
 	p.stats.Prefetches++
+	if p.tel.TraceEnabled() {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPrefetchIssue, Arg1: uint64(target), Label: "ip-stride"})
+	}
 	return append(reqs, Request{Target: target, Source: "ip-stride"})
 }
 
@@ -329,6 +376,9 @@ func (p *IPStride) allocate(a Access) {
 	if slot < 0 {
 		slot = p.policy.Victim()
 		p.stats.Evictions++
+		if p.tel.TraceEnabled() {
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvPTEvict, Arg1: uint64(slot), Arg2: p.entries[slot].Tag})
+		}
 	}
 	p.entries[slot] = Entry{
 		Tag:      p.tagOf(a.IP),
@@ -339,4 +389,7 @@ func (p *IPStride) allocate(a Access) {
 	}
 	p.policy.Insert(slot)
 	p.stats.Allocs++
+	if p.tel.TraceEnabled() {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPTInsert, Arg1: uint64(slot), Arg2: p.entries[slot].Tag})
+	}
 }

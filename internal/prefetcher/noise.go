@@ -3,6 +3,7 @@ package prefetcher
 import (
 	"afterimage/internal/cache"
 	"afterimage/internal/mem"
+	"afterimage/internal/telemetry"
 )
 
 // DCU is the data-cache-unit next-line prefetcher (§3.2): when it detects an
@@ -208,6 +209,22 @@ func (s *Suite) OnLoad(a Access) []Request {
 	reqs = append(reqs, s.DPL.OnLoad(a)...)
 	reqs = append(reqs, s.Streamer.OnLoad(a)...)
 	return reqs
+}
+
+// SetTelemetry attaches the machine's hub to the prefetchers that trace
+// (currently the IP-stride table; the noise prefetchers only keep counters).
+func (s *Suite) SetTelemetry(h *telemetry.Hub) {
+	s.IPStride.SetTelemetry(h)
+}
+
+// RegisterMetrics exposes every prefetcher's counters in reg under the
+// prefetcher.* namespace: prefetcher.ipstride.* plus the issue counts of the
+// three noise prefetchers.
+func (s *Suite) RegisterMetrics(reg *telemetry.Registry) {
+	s.IPStride.RegisterMetrics(reg, "prefetcher.ipstride")
+	reg.RegisterFunc("prefetcher.dcu.issued", s.DCU.Issued)
+	reg.RegisterFunc("prefetcher.dpl.issued", s.DPL.Issued)
+	reg.RegisterFunc("prefetcher.streamer.issued", s.Streamer.Issued)
 }
 
 // FenceReset models a serialising fence: the stream-based detectors (DCU,

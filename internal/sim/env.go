@@ -200,6 +200,15 @@ func (e *Env) EnclaveCall(fn func(*Env)) {
 	e.m.advance(e.m.Cfg.Noise.EnclaveSwitchCycles / 2)
 }
 
+// BeginPhase opens an attack-phase span (train/trigger/probe/decode) on the
+// machine's telemetry hub at the current cycle. Phases do not nest: beginning
+// one implicitly ends the active one, so interleaved attacker/victim tasks
+// keep a single well-defined phase. Always cheap; tracing need not be on.
+func (e *Env) BeginPhase(name string) { e.m.tel.BeginPhase(name) }
+
+// EndPhase closes the active attack-phase span (no-op when none is open).
+func (e *Env) EndPhase() { e.m.tel.EndPhase() }
+
 // HitThreshold exposes the configured hit/miss latency threshold (the
 // paper's 120-cycle rule).
 func (e *Env) HitThreshold() uint64 { return e.m.Cfg.Measure.HitThreshold }

@@ -7,6 +7,7 @@ import (
 	"afterimage/internal/cache"
 	"afterimage/internal/mem"
 	"afterimage/internal/prefetcher"
+	"afterimage/internal/telemetry"
 	"afterimage/internal/tlb"
 )
 
@@ -85,6 +86,11 @@ type Machine struct {
 	pert      Perturber
 	inPerturb bool
 
+	// tel is the machine's observability hub: registry samplers over every
+	// component's counters, the (off-by-default) event bus, and phase spans.
+	tel     *telemetry.Hub
+	latHist *telemetry.Histogram // demand-load latency distribution
+
 	// Counters.
 	domainSwitches uint64
 	syscallCount   uint64
@@ -148,8 +154,27 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 	}
 	m.noiseRegion = noiseRegion
 	m.sched = newScheduler(m)
+
+	m.tel = telemetry.NewHub()
+	m.tel.SetClock(func() uint64 { return m.clock })
+	reg := m.tel.Registry()
+	m.Mem.RegisterMetrics(reg)
+	m.TLB.RegisterMetrics(reg)
+	m.Pref.RegisterMetrics(reg)
+	m.Pref.SetTelemetry(m.tel)
+	reg.RegisterFunc("sched.switches", func() uint64 { return m.domainSwitches })
+	reg.RegisterFunc("sched.syscalls", func() uint64 { return m.syscallCount })
+	// Bucket bounds straddle the configured level latencies and the hit/miss
+	// threshold, so the histogram separates L1/L2/LLC/DRAM populations.
+	m.latHist = reg.Histogram("mem.load.latency", []uint64{
+		cfg.Hierarchy.Lat.L1 + 1, cfg.Hierarchy.Lat.L2 + 1, cfg.Hierarchy.Lat.LLC + 1,
+		cfg.Measure.HitThreshold, cfg.Hierarchy.Lat.DRAM + cfg.TLB.WalkLatency + 1,
+	})
 	return m, nil
 }
+
+// Telemetry returns the machine's observability hub.
+func (m *Machine) Telemetry() *telemetry.Hub { return m.tel }
 
 func kaslrSeed(cfg Config) int64 {
 	if cfg.ASLRSeed == 0 {
@@ -231,6 +256,13 @@ func (m *Machine) load(ip uint64, v mem.VAddr, pid int, as *mem.AddressSpace) ui
 	tlbHit, walk := m.TLB.Lookup(as.ID, v)
 	level, lat := m.Mem.Load(pa)
 	latency := lat + walk + 1 // +1 issue cycle
+	m.latHist.Observe(latency)
+	if m.tel.TraceEnabled() {
+		if !tlbHit {
+			m.tel.Emit(telemetry.Event{Kind: telemetry.EvTLBMiss, Arg1: walk})
+		}
+		m.tel.Emit(telemetry.Event{Kind: telemetry.EvDemandAccess, Arg1: uint64(level), Arg2: latency})
+	}
 	reqs := m.Pref.OnLoad(prefetcher.Access{
 		IP: ip, PA: pa, PID: pid, TLBHit: tlbHit, Level: level,
 	})
@@ -265,6 +297,13 @@ func (m *Machine) flush(v mem.VAddr, as *mem.AddressSpace) {
 // between execution contexts.
 func (m *Machine) domainSwitch(sameProcess bool) {
 	m.domainSwitches++
+	if m.tel.TraceEnabled() {
+		cross := uint64(1)
+		if sameProcess {
+			cross = 0
+		}
+		m.tel.Emit(telemetry.Event{Kind: telemetry.EvDomainSwitch, Arg1: cross})
+	}
 	n := m.Cfg.Noise
 	if sameProcess {
 		m.advance(n.ThreadSwitchCycles)

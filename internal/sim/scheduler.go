@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"afterimage/internal/telemetry"
+)
 
 // task is one cooperative thread of execution. Tasks run one at a time —
 // all on the same logical core, as the paper's threat model requires — and
@@ -138,12 +142,20 @@ func (s *scheduler) run() (uint64, error) {
 		}()
 	}
 
+	if s.m.tel.TraceEnabled() {
+		for _, t := range s.tasks {
+			s.m.tel.Emit(telemetry.Event{Kind: telemetry.EvTaskStart, Label: t.name})
+		}
+	}
 	s.current = s.tasks[0]
 	s.current.resume <- struct{}{}
 	for {
 		ev := <-s.events
 		if ev.fault != nil {
 			s.faults = append(s.faults, ev.fault)
+		}
+		if ev.done && s.m.tel.TraceEnabled() {
+			s.m.tel.Emit(telemetry.Event{Kind: telemetry.EvTaskDone, Label: ev.from.name})
 		}
 		next := s.next(ev.from)
 		if next == nil {

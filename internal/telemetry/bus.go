@@ -1,0 +1,62 @@
+package telemetry
+
+// Bus is a fixed-capacity ring buffer of Events. Once full, the oldest event
+// is overwritten and counted as dropped, so tracing an arbitrarily long run
+// retains the most recent window. The simulator runs tasks under strict
+// handoff (one goroutine holds the core at a time), so the bus needs no
+// locking: emits are serialised by the same happens-before edges that order
+// the simulated clock itself.
+type Bus struct {
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // retained events
+	dropped uint64
+}
+
+// DefaultBusCapacity bounds a trace at ~256k events (~16 MB) unless the
+// caller asks for more.
+const DefaultBusCapacity = 1 << 18
+
+// NewBus builds a ring with the given capacity (DefaultBusCapacity when
+// non-positive).
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultBusCapacity
+	}
+	return &Bus{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, overwriting the oldest when full.
+func (b *Bus) Emit(ev Event) {
+	if b.n < len(b.buf) {
+		b.buf[(b.start+b.n)%len(b.buf)] = ev
+		b.n++
+		return
+	}
+	b.buf[b.start] = ev
+	b.start = (b.start + 1) % len(b.buf)
+	b.dropped++
+}
+
+// Events returns the retained events oldest-first.
+func (b *Bus) Events() []Event {
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.buf[(b.start+i)%len(b.buf)]
+	}
+	return out
+}
+
+// Len reports how many events are retained.
+func (b *Bus) Len() int { return b.n }
+
+// Cap reports the ring capacity.
+func (b *Bus) Cap() int { return len(b.buf) }
+
+// Dropped reports how many events were overwritten by wraparound.
+func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// Reset discards all retained events and the drop count.
+func (b *Bus) Reset() {
+	b.start, b.n, b.dropped = 0, 0, 0
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The exporter lays tracks out as one thread per event family inside a
+// single process, which is how chrome://tracing and Perfetto group them.
+const (
+	trackPhases    = 1
+	trackPrefTable = 2
+	trackPrefetch  = 3
+	trackCache     = 4
+	trackTLB       = 5
+	trackSched     = 6
+	trackFaults    = 7
+)
+
+var trackNames = map[int]string{
+	trackPhases:    "attack phases",
+	trackPrefTable: "prefetch table",
+	trackPrefetch:  "prefetch issue",
+	trackCache:     "cache",
+	trackTLB:       "tlb",
+	trackSched:     "scheduler",
+	trackFaults:    "faults",
+}
+
+func trackOf(k EventKind) int {
+	switch k {
+	case EvPhaseBegin, EvPhaseEnd:
+		return trackPhases
+	case EvPTInsert, EvPTEvict, EvPTConfidence, EvPTFlush:
+		return trackPrefTable
+	case EvPrefetchIssue, EvPrefetchDrop:
+		return trackPrefetch
+	case EvDemandAccess:
+		return trackCache
+	case EvTLBMiss:
+		return trackTLB
+	case EvDomainSwitch, EvTaskStart, EvTaskDone:
+		return trackSched
+	case EvFaultInject:
+		return trackFaults
+	default:
+		return trackSched
+	}
+}
+
+// traceEvent is one record of the Chrome trace_event format (JSON Array
+// Format fields inside the JSON Object Format container).
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	OtherData       interface{}  `json:"otherData,omitempty"`
+}
+
+// TraceMeta labels an exported trace.
+type TraceMeta struct {
+	Process string  // process_name metadata (e.g. the simulated machine name)
+	GHz     float64 // cycle→µs conversion; 0 exports raw cycles as µs
+	Dropped uint64  // ring-buffer drop count, recorded in otherData
+}
+
+// WriteChromeTrace renders events (oldest-first, as Bus.Events returns them)
+// as Chrome trace_event JSON loadable by chrome://tracing and Perfetto.
+// Phase spans become B/E duration pairs on their own track; every other
+// event becomes a thread-scoped instant with its arguments attached.
+func WriteChromeTrace(w io.Writer, events []Event, meta TraceMeta) error {
+	perCycle := 1.0
+	if meta.GHz > 0 {
+		perCycle = 1.0 / (meta.GHz * 1000) // cycles → µs
+	}
+	ts := func(cycle uint64) float64 { return float64(cycle) * perCycle }
+
+	out := traceFile{DisplayTimeUnit: "ms"}
+	name := meta.Process
+	if name == "" {
+		name = "afterimage-sim"
+	}
+	out.TraceEvents = append(out.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]interface{}{"name": name},
+	})
+	// Fixed tid order keeps the exported bytes deterministic (map iteration
+	// order is not).
+	for tid := trackPhases; tid <= trackFaults; tid++ {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]interface{}{"name": trackNames[tid]},
+		})
+	}
+
+	openPhase := ""
+	var lastTs float64
+	for _, ev := range events {
+		t := ts(ev.Cycle)
+		if t > lastTs {
+			lastTs = t
+		}
+		switch ev.Kind {
+		case EvPhaseBegin:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Label, Cat: "phase", Ph: "B", Ts: t, Pid: 1, Tid: trackPhases,
+			})
+			openPhase = ev.Label
+		case EvPhaseEnd:
+			if openPhase == "" {
+				continue // ring wrapped past the matching B; drop the dangler
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Label, Cat: "phase", Ph: "E", Ts: t, Pid: 1, Tid: trackPhases,
+			})
+			openPhase = ""
+		default:
+			te := traceEvent{
+				Name: ev.Kind.String(), Cat: "sim", Ph: "i", Ts: t,
+				Pid: 1, Tid: trackOf(ev.Kind), S: "t",
+				Args: map[string]interface{}{"arg1": ev.Arg1, "arg2": ev.Arg2},
+			}
+			if ev.Label != "" {
+				te.Args["label"] = ev.Label
+			}
+			if ev.Phase != "" {
+				te.Args["phase"] = ev.Phase
+			}
+			out.TraceEvents = append(out.TraceEvents, te)
+		}
+	}
+	if openPhase != "" {
+		// Close a span left dangling at the end of the run so B/E stay paired.
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: openPhase, Cat: "phase", Ph: "E", Ts: lastTs, Pid: 1, Tid: trackPhases,
+		})
+	}
+	out.OtherData = map[string]interface{}{
+		"generator": "afterimage internal/telemetry",
+		"dropped":   meta.Dropped,
+		"events":    len(events),
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks that r holds JSON conforming to the Chrome
+// trace-event object format as this exporter emits it: a traceEvents array
+// whose records carry a known phase type, a name, numeric non-negative
+// timestamps and pid/tid, with B/E duration events balanced per thread.
+// It returns the number of trace events on success.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	var f struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	known := map[string]bool{
+		"B": true, "E": true, "X": true, "i": true, "I": true, "M": true,
+		"C": true, "b": true, "e": true, "n": true, "s": true, "t": true, "f": true,
+	}
+	depth := map[string]int{} // per (pid,tid) open B count
+	for i, ev := range f.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if !known[ph] {
+			return 0, fmt.Errorf("trace: event %d: unknown phase type %q", i, ph)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			return 0, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if ph != "M" {
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return 0, fmt.Errorf("trace: event %d: missing or negative ts", i)
+			}
+		}
+		key := fmt.Sprintf("%v/%v", ev["pid"], ev["tid"])
+		switch ph {
+		case "B":
+			depth[key]++
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				return 0, fmt.Errorf("trace: event %d: E without matching B on %s", i, key)
+			}
+		}
+	}
+	for key, d := range depth {
+		if d != 0 {
+			return 0, fmt.Errorf("trace: %d unclosed B event(s) on %s", d, key)
+		}
+	}
+	return len(f.TraceEvents), nil
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import "fmt"
+
+// EventKind classifies one traced microarchitectural event. Kinds map onto
+// exporter tracks (prefetch table, prefetch issue, cache, TLB, scheduler,
+// faults, phases) — see chrometrace.go.
+type EventKind uint8
+
+// The event taxonomy. Arg1/Arg2 meanings are per kind.
+const (
+	// EvDemandAccess is one demand load: Arg1 = serving cache level
+	// (0 L1, 1 L2, 2 LLC, 3 DRAM), Arg2 = latency in cycles.
+	EvDemandAccess EventKind = iota
+	// EvTLBMiss is a full dTLB+STLB miss (page walk): Arg1 = walk latency.
+	EvTLBMiss
+	// EvPTInsert is an IP-stride history-table allocation: Arg1 = slot,
+	// Arg2 = IP tag.
+	EvPTInsert
+	// EvPTEvict is a history-entry invalidation (replacement victim,
+	// targeted eviction, or fault injection): Arg1 = slot, Arg2 = IP tag.
+	EvPTEvict
+	// EvPTConfidence is a confidence-counter change on an existing entry:
+	// Arg1 = slot, Arg2 = new confidence.
+	EvPTConfidence
+	// EvPTFlush is a whole-table clear (clear-ip-prefetcher / fault).
+	EvPTFlush
+	// EvPrefetchIssue is an issued prefetch: Arg1 = target physical address,
+	// Label = originating prefetcher.
+	EvPrefetchIssue
+	// EvPrefetchDrop is a prefetch suppressed at a page boundary:
+	// Arg1 = base physical address.
+	EvPrefetchDrop
+	// EvDomainSwitch is a context/domain switch: Arg1 = 1 for cross-process,
+	// 0 for same-process (thread) switches.
+	EvDomainSwitch
+	// EvTaskStart / EvTaskDone bracket one scheduled task's lifetime;
+	// Label = task name.
+	EvTaskStart
+	EvTaskDone
+	// EvFaultInject is one applied fault-injection event: Arg1 = fault kind
+	// ordinal, Label = kind name.
+	EvFaultInject
+	// EvPhaseBegin / EvPhaseEnd bracket an attack-phase span; Label = phase.
+	EvPhaseBegin
+	EvPhaseEnd
+
+	eventKindCount = int(EvPhaseEnd) + 1
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvDemandAccess:
+		return "demand-access"
+	case EvTLBMiss:
+		return "tlb-miss"
+	case EvPTInsert:
+		return "pt-insert"
+	case EvPTEvict:
+		return "pt-evict"
+	case EvPTConfidence:
+		return "pt-confidence"
+	case EvPTFlush:
+		return "pt-flush"
+	case EvPrefetchIssue:
+		return "prefetch-issue"
+	case EvPrefetchDrop:
+		return "prefetch-drop"
+	case EvDomainSwitch:
+		return "domain-switch"
+	case EvTaskStart:
+		return "task-start"
+	case EvTaskDone:
+		return "task-done"
+	case EvFaultInject:
+		return "fault-inject"
+	case EvPhaseBegin:
+		return "phase-begin"
+	case EvPhaseEnd:
+		return "phase-end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one cycle-stamped, phase-attributed trace record. It is a plain
+// value — emitting one allocates nothing — and Label, when set, is expected
+// to be a constant or long-lived string (task name, prefetcher source).
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	Phase string // active attack phase at emit time ("" outside any span)
+	Arg1  uint64
+	Arg2  uint64
+	Label string
+}

@@ -1,0 +1,132 @@
+// Package telemetry is the unified observability layer of the AfterImage
+// simulator: a namespaced metrics registry (cheap atomic counters, gauges and
+// fixed-bucket latency histograms, plus pull-samplers over component-local
+// counters), a cycle-stamped event bus backed by a fixed-capacity ring buffer
+// that costs nothing when disabled, attack-phase span tracking, and a Chrome
+// trace_event JSON exporter so any run opens in chrome://tracing or Perfetto.
+//
+// Every machine owns one Hub; components register metric samplers at
+// construction and emit typed events on their hot paths guarded by
+// Hub.TraceEnabled, so an untraced run pays only a nil-and-bool check.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (but resettable) atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic signed instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram: observations are counted
+// into the first bucket whose upper bound is >= the value, with one implicit
+// overflow bucket. Bounds are fixed at construction, so Observe is a short
+// linear scan plus three atomic adds — cheap enough for the simulator's
+// per-load hot path.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram from ascending bucket upper bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"` // len(Bounds)+1, last = overflow
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Mean is the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// String renders the snapshot as one line of bucket counts.
+func (s HistogramSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d mean=%.1f", s.Count, s.Mean())
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(s.Bounds) {
+			fmt.Fprintf(&b, " ≤%d:%d", s.Bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, " >%d:%d", s.Bounds[len(s.Bounds)-1], c)
+		}
+	}
+	return b.String()
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

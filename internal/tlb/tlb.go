@@ -6,7 +6,10 @@
 // is resident (in either level) trains or triggers it normally.
 package tlb
 
-import "afterimage/internal/mem"
+import (
+	"afterimage/internal/mem"
+	"afterimage/internal/telemetry"
+)
 
 // Config shapes the TLB.
 type Config struct {
@@ -201,7 +204,22 @@ func (t *TLB) FlushAll() {
 }
 
 // Stats reports cumulative dTLB hits, full misses and STLB hits.
+//
+// Deprecated: read tlb.hits / tlb.misses from the machine's telemetry
+// registry (via RegisterMetrics); both views sample the same counters.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 // STLBHits reports how many first-level misses the STLB covered.
 func (t *TLB) STLBHits() uint64 { return t.stlbHits }
+
+// ResetStats clears the hit, miss and STLB-hit counters.
+func (t *TLB) ResetStats() { t.hits, t.misses, t.stlbHits = 0, 0, 0 }
+
+// RegisterMetrics exposes the TLB counters in reg: tlb.hits, tlb.misses,
+// tlb.stlb_hits. Samplers read the live counters, so snapshots always match
+// Stats()/STLBHits() exactly.
+func (t *TLB) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterFunc("tlb.hits", func() uint64 { return t.hits })
+	reg.RegisterFunc("tlb.misses", func() uint64 { return t.misses })
+	reg.RegisterFunc("tlb.stlb_hits", func() uint64 { return t.stlbHits })
+}

@@ -61,6 +61,11 @@ type Report struct {
 		Advantage        float64 `json:"advantage"`
 	} `json:"comparison"`
 
+	// Phases breaks the V1 thread-scenario run down by attack phase
+	// (train/trigger/probe/decode): spans executed and simulated cycles per
+	// phase, from the telemetry hub's always-on phase accounting.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
@@ -127,8 +132,9 @@ func FullReport(opts ReportOptions) (*Report, error) {
 	r.ReverseEngineering.SGXRetention, _ = q.SGXRetention()
 
 	// Attack success rates (noisy machines, fresh lab per experiment).
-	r.Attacks.V1ThreadSuccess = NewLab(Options{Seed: opts.Seed}).
-		RunVariant1(V1Options{Bits: opts.Rounds}).SuccessRate()
+	v1Lab := NewLab(Options{Seed: opts.Seed})
+	r.Attacks.V1ThreadSuccess = v1Lab.RunVariant1(V1Options{Bits: opts.Rounds}).SuccessRate()
+	r.Phases = v1Lab.PhaseSummaries()
 	r.Attacks.V1ProcessSuccess = NewLab(Options{Seed: opts.Seed + 1}).
 		RunVariant1(V1Options{Bits: opts.Rounds, CrossProcess: true}).SuccessRate()
 	r.Attacks.V2KernelSuccess = NewLab(Options{Seed: opts.Seed + 2}).

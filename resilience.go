@@ -69,6 +69,8 @@ func (l *Lab) InjectFaults(cfg faults.Config) *faults.Engine {
 	} else {
 		l.m.SetPerturber(nil)
 	}
+	// Replaces any previous engine's faults.* samplers in the registry.
+	eng.RegisterMetrics(l.m.Telemetry().Registry())
 	return eng
 }
 

@@ -146,13 +146,17 @@ func (l *Lab) rsaObserveRun(attProc, vicProc *sim.Process, vic *victim.RSALadder
 		for iter := 0; iter < bits; iter++ {
 			watch := target < 0 || iter == target
 			if watch {
+				e.BeginPhase("train")
 				psc.Train(e, 3)
+				e.BeginPhase("trigger")
 			}
 			e.Yield() // victim executes ladder iteration `iter`
 			if !watch {
 				continue
 			}
+			e.BeginPhase("probe")
 			executed := !psc.Check(e)
+			e.BeginPhase("decode")
 			res.Observations++
 			truth := exp.Bit(bits-1-iter) == 1
 			if executed == truth {
@@ -163,6 +167,7 @@ func (l *Lab) rsaObserveRun(attProc, vicProc *sim.Process, vic *victim.RSALadder
 			} else {
 				votes[iter]--
 			}
+			e.EndPhase()
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) {
@@ -207,11 +212,14 @@ func (l *Lab) TrackOpenSSL() (keyLoad, decrypt TimingResult) {
 		pscKey.Train(e, 4)
 		pscMul.Train(e, 4)
 		for s := 0; s < totalSlots; s++ {
+			e.BeginPhase("trigger")
 			e.Yield()
+			e.BeginPhase("probe")
 			kc := pscKey.Check(e)
 			mc := pscMul.Check(e)
 			keyLoad.Samples = append(keyLoad.Samples, TimingSample{Cycle: e.Now(), Triggered: kc})
 			decrypt.Samples = append(decrypt.Samples, TimingSample{Cycle: e.Now(), Triggered: mc})
+			e.EndPhase()
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) {
@@ -250,9 +258,12 @@ func (l *Lab) TrackAES() (timeline TimingResult, expandSlot, encryptSlot int, ci
 		psc := core.NewPSC(e, core.IPWithLow8(0x42_0000, uint8(vic.IPSBox)), 11, 128)
 		psc.Train(e, 4)
 		for s := 0; s < totalSlots; s++ {
+			e.BeginPhase("trigger")
 			e.Yield()
+			e.BeginPhase("probe")
 			ok := psc.Check(e)
 			timeline.Samples = append(timeline.Samples, TimingSample{Cycle: e.Now(), Triggered: ok})
+			e.EndPhase()
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) {

@@ -165,11 +165,15 @@ func (l *Lab) runV1PSC(opts V1Options) (LeakResult, error) {
 		pscElse.Train(e, 4)
 		bo := pscBackoff()
 		for range opts.Secret {
+			e.BeginPhase("train")
 			pscIf.Train(e, bo.Rounds())
 			pscElse.Train(e, bo.Rounds())
+			e.BeginPhase("trigger")
 			e.Yield()
+			e.BeginPhase("probe")
 			ifHit, ifLat := pscIf.CheckLat(e)
 			elseHit, elseLat := pscElse.CheckLat(e)
+			e.BeginPhase("decode")
 			ifTouched := !ifHit
 			elseTouched := !elseHit
 			// The victim executed exactly one path; when noise blurs both
@@ -183,6 +187,7 @@ func (l *Lab) runV1PSC(opts V1Options) (LeakResult, error) {
 			} else {
 				bo.Reset()
 			}
+			e.EndPhase()
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
@@ -220,10 +225,14 @@ func (l *Lab) runV1FlushReload(opts V1Options) (LeakResult, error) {
 		var calPage *mem.Mapping
 		candidates := []int64{opts.IfStride, opts.ElseStride}
 		for range opts.Secret {
+			e.BeginPhase("train")
 			g.Train(e, bo.Rounds())
 			fr.FlushPage(e, shared.Base)
+			e.BeginPhase("trigger")
 			e.Yield()
+			e.BeginPhase("probe")
 			lats, hits := fr.ReloadPage(e, shared.Base)
+			e.BeginPhase("decode")
 			s, ok := core.DetectStride(hits, candidates)
 			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
 			var conf float64
@@ -251,6 +260,7 @@ func (l *Lab) runV1FlushReload(opts V1Options) (LeakResult, error) {
 			for _, lat := range lats {
 				res.LastProbe = append(res.LastProbe, int64(lat))
 			}
+			e.EndPhase()
 		}
 	})
 	m.Spawn(vicProc, "victim", func(e *sim.Env) { vic.Run(e, opts.Secret) })
@@ -297,10 +307,14 @@ func (l *Lab) runV1PrimeProbe(opts V1Options) (LeakResult, error) {
 		bo := v1Backoff()
 		candidates := []int64{opts.IfStride, opts.ElseStride}
 		for range opts.Secret {
+			e.BeginPhase("train")
 			g.Train(e, bo.Rounds())
 			pm.Prime(e)
+			e.BeginPhase("trigger")
 			e.Yield()
+			e.BeginPhase("probe")
 			deltas := pm.Probe(e)
+			e.BeginPhase("decode")
 			hits := core.HitLines(deltas, 120)
 			s, ok := core.DetectStride(hits, candidates)
 			res.Inferred = append(res.Inferred, ok && s == opts.IfStride)
@@ -317,6 +331,7 @@ func (l *Lab) runV1PrimeProbe(opts V1Options) (LeakResult, error) {
 				bo.Reset()
 			}
 			res.LastProbe = append(res.LastProbe[:0], deltas...)
+			e.EndPhase()
 		}
 	})
 	m.Spawn(proc, "victim", func(e *sim.Env) {
@@ -417,10 +432,14 @@ func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
 		psc.Train(env, 4)
 		bo := pscBackoff()
 		for range opts.Secret {
+			env.BeginPhase("train")
 			psc.Train(env, bo.Rounds())
+			env.BeginPhase("trigger")
 			env.WarmTLB(shared.Base)
 			env.Syscall(333, uint64(shared.Base))
+			env.BeginPhase("probe")
 			hit, lat := psc.CheckLat(env)
+			env.BeginPhase("decode")
 			res.Inferred = append(res.Inferred, !hit)
 			conf := core.LatencyConfidence(lat, env.HitThreshold())
 			res.Confidence = append(res.Confidence, conf)
@@ -429,6 +448,7 @@ func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
 			} else {
 				bo.Reset()
 			}
+			env.EndPhase()
 		}
 	} else {
 		g := core.MustNewGadget(env, []core.TrainEntry{
@@ -438,11 +458,15 @@ func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
 		cal := core.NewCalibrator()
 		var calPage *mem.Mapping
 		for range opts.Secret {
+			env.BeginPhase("train")
 			g.Train(env, bo.Rounds())
 			fr.FlushPage(env, shared.Base)
+			env.BeginPhase("trigger")
 			env.WarmTLB(shared.Base)
 			env.Syscall(333, uint64(shared.Base))
+			env.BeginPhase("probe")
 			lats, hits := fr.ReloadPage(env, shared.Base)
+			env.BeginPhase("decode")
 			_, ok := core.DetectStride(hits, []int64{opts.Stride})
 			res.Inferred = append(res.Inferred, ok)
 			var conf float64
@@ -468,6 +492,7 @@ func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
 			for _, lat := range lats {
 				res.LastProbe = append(res.LastProbe, int64(lat))
 			}
+			env.EndPhase()
 		}
 	}
 	res.Cycles = m.Now() - start
@@ -540,17 +565,22 @@ func (l *Lab) RunSGXE(bits int, secret []bool) (res SGXResult, err error) {
 	res = SGXResult{LeakResult: LeakResult{Secret: secret}}
 	start = m.Now()
 	for _, s := range secret {
+		env.BeginPhase("train")
 		fr.FlushPage(env, buf.Base)
+		env.BeginPhase("trigger")
 		vic.ECall(env, s)
+		env.BeginPhase("probe")
 		x1 := buf.Base + mem.VAddr(vic.StrideNotTaken*8*mem.LineSize)
 		x2 := buf.Base + mem.VAddr(vic.StrideTaken*8*mem.LineSize)
 		t24, hit24 := fr.ReloadLine(env, x1)
 		t40, hit40 := fr.ReloadLine(env, x2)
+		env.BeginPhase("decode")
 		res.Time24, res.Time40 = t24, t40
 		res.Inferred = append(res.Inferred, hit40 && !hit24)
 		thr := env.HitThreshold()
 		conf := (core.LatencyConfidence(t24, thr) + core.LatencyConfidence(t40, thr)) / 2
 		res.Confidence = append(res.Confidence, conf)
+		env.EndPhase()
 	}
 	res.Cycles = m.Now() - start
 	res.Correct = boolsEqual(res.Secret, res.Inferred)
