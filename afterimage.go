@@ -77,6 +77,12 @@ type Lab struct {
 	opts Options
 	m    *sim.Machine
 	rng  *rand.Rand
+
+	// traceOn / traceCap remember EnableTrace so campaign drivers
+	// (RunFaultSweep) can propagate the same tracing configuration into the
+	// fresh per-point labs they boot.
+	traceOn  bool
+	traceCap int
 }
 
 // NewLab boots a fresh simulated machine.

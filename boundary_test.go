@@ -1,0 +1,109 @@
+package afterimage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"afterimage/internal/runner"
+)
+
+// TestRecoverAsErrorFaultKindRoundTrip: every fault kind thrown as a panic
+// crosses the recoverAsError boundary as a typed error that errors.As and
+// AsFault both recover unchanged — including through additional %w wrapping —
+// and the supervised runner classifies it the way the retry policy expects.
+func TestRecoverAsErrorFaultKindRoundTrip(t *testing.T) {
+	kinds := []struct {
+		kind      FaultKind
+		wantClass runner.Class
+	}{
+		{FaultPanic, runner.ClassTransient},
+		{FaultSegfault, runner.ClassTransient},
+		{FaultBudget, runner.ClassTransient},
+		{FaultBadSyscall, runner.ClassTransient},
+		{FaultAPIMisuse, runner.ClassPermanent},
+		{FaultOOM, runner.ClassTransient},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			thrown := &SimFault{Kind: tc.kind, Msg: "boundary round-trip", Cycle: 99, Task: "victim"}
+			fn := func() (err error) {
+				defer recoverAsError(&err)
+				panic(thrown)
+			}
+			err := fn()
+			if err == nil {
+				t.Fatal("panic did not surface as an error")
+			}
+
+			var f *SimFault
+			if !errors.As(err, &f) {
+				t.Fatalf("errors.As failed on %v", err)
+			}
+			if f != thrown {
+				t.Errorf("errors.As returned a different fault: %+v", f)
+			}
+			got, ok := AsFault(err)
+			if !ok || got.Kind != tc.kind {
+				t.Errorf("AsFault = %+v, %v; want kind %s", got, ok, tc.kind)
+			}
+
+			wrapped := fmt.Errorf("campaign point 3: %w", err)
+			if got, ok := AsFault(wrapped); !ok || got.Kind != tc.kind {
+				t.Errorf("AsFault through wrapping = %+v, %v", got, ok)
+			}
+
+			if c := runner.DefaultClassify(err); c != tc.wantClass {
+				t.Errorf("DefaultClassify(%s) = %v, want %v", tc.kind, c, tc.wantClass)
+			}
+		})
+	}
+}
+
+// TestRecoverAsErrorWrapsNonFaultPanic: a panic that is not a SimFault (a
+// victim bug, a slice overrun) surfaces as a wrapped error — never a crash,
+// never mistaken for a typed simulator fault — and the runner treats it as
+// permanent.
+func TestRecoverAsErrorWrapsNonFaultPanic(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload any
+	}{
+		{"string", "victim exploded"},
+		{"error", errors.New("index out of range")},
+		{"int", 42},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fn := func() (err error) {
+				defer recoverAsError(&err)
+				panic(tc.payload)
+			}
+			err := fn()
+			if err == nil {
+				t.Fatal("non-fault panic did not surface as an error")
+			}
+			if _, ok := AsFault(err); ok {
+				t.Fatalf("non-fault panic classified as SimFault: %v", err)
+			}
+			if payloadErr, ok := tc.payload.(error); ok && !errors.Is(err, payloadErr) {
+				t.Errorf("error payload not wrapped: %v", err)
+			}
+			if c := runner.DefaultClassify(err); c != runner.ClassPermanent {
+				t.Errorf("DefaultClassify = %v, want permanent", c)
+			}
+		})
+	}
+}
+
+// TestRecoverAsErrorNoPanicIsNil: the boundary is transparent on the happy
+// path.
+func TestRecoverAsErrorNoPanicIsNil(t *testing.T) {
+	fn := func() (err error) {
+		defer recoverAsError(&err)
+		return nil
+	}
+	if err := fn(); err != nil {
+		t.Fatalf("boundary invented an error: %v", err)
+	}
+}

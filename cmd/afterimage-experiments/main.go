@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,14 @@ type experiment struct {
 // the last lab an experiment builds.
 var obs *cliobs.Flags
 
+// rflags and campaignCtx give the supervised campaigns (fault-sweep,
+// mitigation, -report) their worker pool, checkpoint/resume and ^C-safe
+// cancellation.
+var (
+	rflags      *cliobs.RunnerFlags
+	campaignCtx context.Context
+)
+
 func main() {
 	var (
 		seed   = flag.Int64("seed", 1, "master seed (equal seeds reproduce runs exactly)")
@@ -36,8 +45,12 @@ func main() {
 		csvDir = flag.String("csv", "", "write per-figure CSV data series into this directory and exit")
 	)
 	obs = cliobs.Register()
+	rflags = cliobs.RegisterRunner()
 	flag.Parse()
 	obs.Start()
+	var stop context.CancelFunc
+	campaignCtx, stop = rflags.Context(context.Background())
+	defer stop()
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir, *seed); err != nil {
@@ -49,7 +62,9 @@ func main() {
 	}
 
 	if *report != "" {
-		r, err := afterimage.FullReport(afterimage.ReportOptions{Seed: *seed, Rounds: 200})
+		r, err := afterimage.FullReportCtx(campaignCtx, afterimage.ReportOptions{
+			Seed: *seed, Rounds: 200, Runner: rflags.Options(),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -452,7 +467,9 @@ func runDiscovery(seed int64) {
 }
 
 func runMitigation(seed int64) {
-	res, err := afterimage.RunMitigationStudy(afterimage.MitigationOptions{Instructions: 200_000, Seed: seed})
+	res, err := afterimage.RunMitigationStudyCtx(campaignCtx, afterimage.MitigationOptions{
+		Instructions: 200_000, Seed: seed, Runner: rflags.OptionsFor("mitigation"),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -462,6 +479,9 @@ func runMitigation(seed int64) {
 		fmt.Printf("%-18s %-9v  %8.3f  %9.3f  %7.3f%%  %8.1f%%\n",
 			r.Name, r.Sensitive, r.BaseIPC, r.MitigatedIPC, r.Slowdown*100, r.PrefetchBenefit*100)
 	}
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded (replay failed, excluded from means): %s\n", strings.Join(res.Degraded, ", "))
+	}
 	fmt.Printf("top-8 prefetch-sensitive slowdown: %.2f%% (paper: 0.7%%)\n", res.Top8Slowdown*100)
 	fmt.Printf("overall slowdown:                  %.2f%% (paper: 0.2%%)\n", res.OverallSlowdown*100)
 	fmt.Printf("analytic upper bound:              %.2f%% (paper: <7.3%%)\n", res.AnalyticUpperBound*100)
@@ -470,24 +490,35 @@ func runMitigation(seed int64) {
 func runFaultSweep(seed int64) {
 	lab := noisyLab(seed)
 	for _, att := range []afterimage.SweepAttack{afterimage.SweepV1Thread, afterimage.SweepV2Kernel} {
-		res := lab.RunFaultSweep(afterimage.SweepOptions{
+		res, err := lab.RunFaultSweepCtx(campaignCtx, afterimage.SweepOptions{
 			Attack: att, Bits: 48,
 			Intensities: []float64{0, 0.5, 1, 2, 4, 8},
 			Faults:      faults.Config{EventsPerMCycle: 150},
+			Runner:      rflags.OptionsFor("sweep-" + att.String()),
 		})
 		fmt.Printf("%s:\n  intensity  success  confidence  events\n", res.Attack)
 		for _, p := range res.Points {
 			note := ""
-			if p.Err != "" {
+			if p.FaultKind != "" {
+				note = "  [" + p.FaultKind + "]"
+			} else if p.Err != "" {
 				note = "  (" + p.Err + ")"
+			}
+			if p.Degraded {
+				note += "  DEGRADED"
 			}
 			fmt.Printf("  %9.2f  %6.1f%%  %10.2f  %6d %s%s\n",
 				p.Intensity, p.SuccessRate*100, p.MeanConfidence, p.FaultEvents,
 				textplot.Bar(p.SuccessRate, 1, 24), note)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep interrupted: %v (rerun with -resume to continue)\n", err)
+			return
+		}
 	}
 	fmt.Println("(prefetcher flushes, entry evictions, TLB shootdowns, preemption storms, cache thrash;")
-	fmt.Println(" deterministic per seed — rerun with the same -seed for the identical curve)")
+	fmt.Println(" deterministic per seed — rerun with the same -seed for the identical curve;")
+	fmt.Println(" -jobs N parallelises the points, -checkpoint/-resume survive kills)")
 }
 
 // timeline renders a PSC sample sequence via textplot.

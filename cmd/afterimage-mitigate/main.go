@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"afterimage"
 	"afterimage/internal/cliobs"
@@ -21,16 +23,23 @@ func main() {
 		seed  = flag.Int64("seed", 1, "deterministic seed")
 	)
 	obs := cliobs.Register()
+	rflags := cliobs.RegisterRunner()
 	flag.Parse()
 	obs.Start()
+	ctx, stop := rflags.Context(context.Background())
+	defer stop()
 
-	res, err := afterimage.RunMitigationStudy(afterimage.MitigationOptions{
+	res, err := afterimage.RunMitigationStudyCtx(ctx, afterimage.MitigationOptions{
 		Instructions:        *instr,
 		FlushIntervalCycles: *flush,
 		Seed:                *seed,
+		Runner:              rflags.Options(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if rflags.Checkpoint != "" {
+			fmt.Fprintln(os.Stderr, "completed applications are checkpointed; rerun with -resume to continue")
+		}
 		os.Exit(1)
 	}
 
@@ -40,6 +49,9 @@ func main() {
 		fmt.Printf("%-18s %-5v %8.3f  %9.3f  %9.3f  %7.3f%%  %8.1f%%\n",
 			r.Name, r.Sensitive, r.BaseIPC, r.MitigatedIPC, r.NoPrefetchIPC,
 			r.Slowdown*100, r.PrefetchBenefit*100)
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded (replay failed, excluded from means): %s\n", strings.Join(res.Degraded, ", "))
 	}
 	fmt.Printf("\ntop-8 prefetch-sensitive slowdown: %.2f%%  (paper: 0.7%%)\n", res.Top8Slowdown*100)
 	fmt.Printf("overall slowdown:                  %.2f%%  (paper: 0.2%%)\n", res.OverallSlowdown*100)

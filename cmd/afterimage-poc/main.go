@@ -4,14 +4,27 @@
 package main
 
 import (
-	"errors"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"afterimage"
 	"afterimage/internal/cliobs"
+	"afterimage/internal/runner"
 )
+
+// pocOutcome is the JSON unit the supervised run returns: the leak result
+// plus the variant-specific extras, so a -resume'd invocation reprints the
+// same numbers from the checkpoint without re-simulating.
+type pocOutcome struct {
+	Leak        afterimage.LeakResult
+	FoundIPLow8 uint8  `json:",omitempty"`
+	IPSearched  bool   `json:",omitempty"`
+	Time24      uint64 `json:",omitempty"`
+	Time40      uint64 `json:",omitempty"`
+}
 
 func main() {
 	var (
@@ -23,80 +36,127 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle-budget watchdog (0 = off): abort with a typed fault once exceeded")
 	)
 	obs := cliobs.Register()
+	rflags := cliobs.RegisterRunner()
 	flag.Parse()
 	obs.Start()
+	ctx, stop := rflags.Context(context.Background())
+	defer stop()
 
 	opts := afterimage.Options{Seed: *seed, MitigationFlush: *miti, MaxCycles: *maxCycles}
 	if *model == "haswell" {
 		opts.Model = afterimage.Haswell
 	}
-	lab, err := afterimage.NewLabE(opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-poc: cannot boot the simulated machine: %v\n", err)
-		os.Exit(1)
-	}
-	obs.Observe(lab)
-	fmt.Printf("machine: %s (mitigation=%v)\n", lab.ModelName(), *miti)
 
-	// show prints whatever the run produced — on a fault these are the bits
-	// leaked before the simulator stopped the experiment.
-	show := func(r afterimage.LeakResult) {
-		fmt.Printf("secret:   %s\n", bitsString(r.Secret))
-		fmt.Printf("inferred: %s\n", bitsString(r.Inferred))
-		fmt.Printf("success:  %.1f%% (%d/%d) in %.2f ms simulated, mean confidence %.2f\n",
-			r.SuccessRate()*100, r.Correct, len(r.Secret), lab.Seconds(r.Cycles)*1e3,
-			r.MeanConfidence())
+	// The PoC is a one-job campaign: -timeout gives the run a wall deadline
+	// (enforced by the simulator watchdog), ^C stops it at a clean fault
+	// boundary, and -checkpoint/-resume skip an already-completed run.
+	job := runner.Job{
+		Key: fmt.Sprintf("poc/%s", *variant),
+		Run: func(jctx context.Context, _ int) (any, error) {
+			lab, err := afterimage.NewLabE(opts)
+			if err != nil {
+				return nil, fmt.Errorf("cannot boot the simulated machine: %w", err)
+			}
+			obs.Observe(lab)
+			lab.ArmCancel(jctx)
+			fmt.Printf("machine: %s (mitigation=%v)\n", lab.ModelName(), *miti)
+
+			var out pocOutcome
+			switch *variant {
+			case "v1":
+				out.Leak, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits})
+			case "v1-cross":
+				out.Leak, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, CrossProcess: true})
+			case "v1-pp":
+				out.Leak, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PrimeProbe})
+			case "v1-psc":
+				out.Leak, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PSC})
+			case "v2":
+				var r afterimage.V2Result
+				r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits})
+				out.Leak = r.LeakResult
+			case "v2-psc":
+				var r afterimage.V2Result
+				r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, Backend: afterimage.PSC})
+				out.Leak = r.LeakResult
+			case "v2-search":
+				var r afterimage.V2Result
+				r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, UseIPSearch: true})
+				out.Leak, out.FoundIPLow8, out.IPSearched = r.LeakResult, r.FoundIPLow8, r.IPSearched
+			case "sgx":
+				var r afterimage.SGXResult
+				r, err = lab.RunSGXE(*bits, nil)
+				out.Leak, out.Time24, out.Time40 = r.LeakResult, r.Time24, r.Time40
+			default:
+				return nil, fmt.Errorf("unknown variant %q", *variant)
+			}
+			// seconds converts on this lab; store it so a resumed print
+			// does not need a machine.
+			return struct {
+				pocOutcome
+				SimSeconds float64
+			}{out, lab.Seconds(out.Leak.Cycles)}, err
+		},
 	}
 
-	var res afterimage.LeakResult
-	switch *variant {
-	case "v1":
-		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits})
-	case "v1-cross":
-		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, CrossProcess: true})
-	case "v1-pp":
-		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PrimeProbe})
-	case "v1-psc":
-		res, err = lab.RunVariant1E(afterimage.V1Options{Bits: *bits, Backend: afterimage.PSC})
-	case "v2":
-		var r afterimage.V2Result
-		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits})
-		res = r.LeakResult
-	case "v2-psc":
-		var r afterimage.V2Result
-		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, Backend: afterimage.PSC})
-		res = r.LeakResult
-	case "v2-search":
-		var r afterimage.V2Result
-		r, err = lab.RunVariant2E(afterimage.V2Options{Bits: *bits, UseIPSearch: true})
-		fmt.Printf("IP search: low-8 bits %#02x (searched=%v)\n", r.FoundIPLow8, r.IPSearched)
-		res = r.LeakResult
-	case "sgx":
-		var r afterimage.SGXResult
-		r, err = lab.RunSGXE(*bits, nil)
-		res = r.LeakResult
-		if err == nil {
-			fmt.Printf("telltale lines: t(3·8)=%d t(5·8)=%d cycles\n", r.Time24, r.Time40)
+	ropts := rflags.Options()
+	ropts.MaxAttempts = 1 // a PoC run is deterministic; retrying replays the same fault
+	if ropts.JobTimeout > 0 {
+		ropts.MaxAttempts = 0 // timeouts are wall-clock, retries can help
+	}
+	ropts.Fingerprint = runner.Fingerprint(struct {
+		Kind    string
+		Opts    afterimage.Options
+		Variant string
+		Bits    int
+	}{"poc/1", opts, *variant, *bits})
+
+	jrs, rerr := runner.Run(ctx, []runner.Job{job}, ropts)
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-poc: %v\n", rerr)
+		os.Exit(2)
+	}
+	jr := jrs[0]
+	var full struct {
+		pocOutcome
+		SimSeconds float64
+	}
+	if len(jr.Value) > 0 {
+		if err := json.Unmarshal(jr.Value, &full); err != nil {
+			fmt.Fprintf(os.Stderr, "afterimage-poc: corrupt result: %v\n", err)
+			os.Exit(1)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(1)
+	}
+	if jr.Resumed {
+		fmt.Printf("resumed from checkpoint %s (machine not re-simulated)\n", rflags.Checkpoint)
 	}
 
-	show(res)
+	res := full.Leak
+	switch *variant {
+	case "v2-search":
+		fmt.Printf("IP search: low-8 bits %#02x (searched=%v)\n", full.FoundIPLow8, full.IPSearched)
+	case "sgx":
+		if jr.Err == "" {
+			fmt.Printf("telltale lines: t(3·8)=%d t(5·8)=%d cycles\n", full.Time24, full.Time40)
+		}
+	}
+	fmt.Printf("secret:   %s\n", bitsString(res.Secret))
+	fmt.Printf("inferred: %s\n", bitsString(res.Inferred))
+	fmt.Printf("success:  %.1f%% (%d/%d) in %.2f ms simulated, mean confidence %.2f\n",
+		res.SuccessRate()*100, res.Correct, len(res.Secret), full.SimSeconds*1e3,
+		res.MeanConfidence())
+
 	if oerr := obs.Finish(); oerr != nil {
 		fmt.Fprintf(os.Stderr, "afterimage-poc: %v\n", oerr)
 		os.Exit(1)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-poc: experiment terminated early after %d/%d bits\n",
-			len(res.Inferred), len(res.Secret))
-		var f *afterimage.SimFault
-		if errors.As(err, &f) {
-			fmt.Fprintf(os.Stderr, "afterimage-poc: simulator fault: kind=%s task=%q cycle=%d: %v\n",
-				f.Kind, f.Task, f.Cycle, f)
+	if jr.Err != "" {
+		fmt.Fprintf(os.Stderr, "afterimage-poc: experiment terminated early after %d/%d bits (attempts=%d)\n",
+			len(res.Inferred), len(res.Secret), jr.Attempts)
+		if jr.FaultKind != "" {
+			fmt.Fprintf(os.Stderr, "afterimage-poc: simulator fault: kind=%s: %s\n", jr.FaultKind, jr.Err)
 		} else {
-			fmt.Fprintf(os.Stderr, "afterimage-poc: %v\n", err)
+			fmt.Fprintf(os.Stderr, "afterimage-poc: %s\n", jr.Err)
 		}
 		os.Exit(2)
 	}

@@ -218,35 +218,47 @@ func (a AppResult) PrefetchBenefit() float64 {
 	return a.Base.IPC()/a.NoPrefetch.IPC() - 1
 }
 
+// RunApp replays one profile three ways (base, mitigated, no-prefetch) over
+// n instructions and returns its study row. It is the per-application unit of
+// RunStudy, exposed so a supervised campaign can run applications as
+// independent jobs; the result depends only on the arguments.
+func RunApp(cfg Config, p trace.Profile, n int, flushInterval uint64, seed int64) (AppResult, error) {
+	records := trace.NewGenerator(p, seed).Generate(n)
+
+	base, err := New(cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	mitCfg := cfg
+	mitCfg.FlushIntervalCycles = flushInterval
+	mit, err := New(mitCfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	nop, err := New(cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	nop.DisableIPStride()
+
+	return AppResult{
+		Profile:    p,
+		Base:       base.Run(records),
+		Mitigated:  mit.Run(records),
+		NoPrefetch: nop.Run(records),
+	}, nil
+}
+
 // RunStudy replays every profile three ways (base, mitigated, no-prefetch)
 // over n instructions each and returns per-app results.
 func RunStudy(cfg Config, profiles []trace.Profile, n int, flushInterval uint64, seed int64) ([]AppResult, error) {
 	out := make([]AppResult, 0, len(profiles))
 	for _, p := range profiles {
-		records := trace.NewGenerator(p, seed).Generate(n)
-
-		base, err := New(cfg)
+		r, err := RunApp(cfg, p, n, flushInterval, seed)
 		if err != nil {
 			return nil, err
 		}
-		mitCfg := cfg
-		mitCfg.FlushIntervalCycles = flushInterval
-		mit, err := New(mitCfg)
-		if err != nil {
-			return nil, err
-		}
-		nop, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		nop.DisableIPStride()
-
-		out = append(out, AppResult{
-			Profile:    p,
-			Base:       base.Run(records),
-			Mitigated:  mit.Run(records),
-			NoPrefetch: nop.Run(records),
-		})
+		out = append(out, r)
 	}
 	return out, nil
 }

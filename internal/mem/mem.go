@@ -10,6 +10,7 @@ package mem
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // PageSize is the (only) supported page size, 4 KiB.
@@ -124,15 +125,17 @@ type AddressSpace struct {
 	aslr     *rand.Rand // nil disables ASLR
 }
 
-var nextASID uint64
+// nextASID is atomic: labs on parallel campaign workers allocate address
+// spaces concurrently, and ASIDs are only ever compared for equality (TLB
+// entry tags), so allocation order does not affect any simulated outcome.
+var nextASID atomic.Uint64
 
 // NewAddressSpace creates an address space backed by phys. When aslrSeed is
 // non-zero, mmap bases are randomised at page granularity (Level-2 ASLR);
 // a zero seed disables randomisation for reproducible layouts.
 func NewAddressSpace(name string, phys *PhysMemory, aslrSeed int64) *AddressSpace {
-	nextASID++
 	as := &AddressSpace{
-		ID:       nextASID,
+		ID:       nextASID.Add(1),
 		Name:     name,
 		phys:     phys,
 		pages:    make(map[uint64]uint64),

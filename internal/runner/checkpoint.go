@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// CheckpointSchema versions the on-disk checkpoint format. A file carrying a
+// different schema string is rejected rather than misread.
+const CheckpointSchema = "afterimage-runner-checkpoint/1"
+
+// checkpointFile is the persisted shape: which campaign this belongs to and
+// every completed job keyed by its Key.
+type checkpointFile struct {
+	Schema      string               `json:"schema"`
+	Fingerprint string               `json:"fingerprint"`
+	Completed   map[string]JobResult `json:"completed"`
+}
+
+// checkpointState is the live handle: the completed map plus where to
+// persist it.
+type checkpointState struct {
+	path        string
+	fingerprint string
+	completed   map[string]JobResult
+}
+
+// openCheckpoint prepares checkpoint persistence at path. With resume set,
+// an existing file is loaded and validated (schema and campaign fingerprint
+// must match); otherwise any stale file is ignored and overwritten by the
+// first write.
+func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, error) {
+	st := &checkpointState{
+		path:        path,
+		fingerprint: fingerprint,
+		completed:   make(map[string]JobResult),
+	}
+	if !resume {
+		return st, nil
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil // nothing to resume from; start fresh
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("runner: parse checkpoint %s: %w", path, err)
+	}
+	if f.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("runner: checkpoint %s has schema %q, want %q",
+			path, f.Schema, CheckpointSchema)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("runner: checkpoint %s belongs to campaign %s, this campaign is %s (same options and seed required to resume)",
+			path, f.Fingerprint, fingerprint)
+	}
+	if f.Completed != nil {
+		st.completed = f.Completed
+	}
+	return st, nil
+}
+
+// write persists the completed map atomically: marshal, write to a
+// same-directory temp file, fsync, rename over the target. A kill between
+// any two steps leaves either the previous checkpoint or the new one —
+// never a torn file.
+func (st *checkpointState) write() error {
+	raw, err := json.MarshalIndent(checkpointFile{
+		Schema:      CheckpointSchema,
+		Fingerprint: st.fingerprint,
+		Completed:   st.completed,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, st.path)
+}
+
+// Fingerprint hashes an arbitrary JSON-encodable campaign description
+// (options + seed) into a short stable identifier. Struct field order and
+// sorted map keys make the encoding — and so the fingerprint — deterministic.
+func Fingerprint(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Unencodable descriptions still need a stable answer; fall back to
+		// the error text, which is itself deterministic for a given type.
+		raw = []byte(err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// CompletedKeys lists the keys recorded in the checkpoint at path, sorted —
+// a debugging/inspection helper for binaries and tests.
+func CompletedKeys(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(f.Completed))
+	for k := range f.Completed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,354 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"afterimage/internal/sim"
+	"afterimage/internal/telemetry"
+)
+
+// noSleep makes backoff instantaneous in tests.
+func noSleep(time.Duration) {}
+
+// intJob returns a job whose value is a deterministic function of its index.
+func intJob(i int) Job {
+	return Job{
+		Key: fmt.Sprintf("job-%02d", i),
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			return map[string]int{"i": i, "sq": i * i}, nil
+		},
+	}
+}
+
+func TestResultsInJobOrderAcrossWorkerCounts(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, intJob(i))
+	}
+	var golden []byte
+	for _, workers := range []int{1, 4, 12} {
+		res, err := Run(context.Background(), jobs, Options{Workers: workers, Sleep: noSleep})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(jobs) {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+		raw, _ := json.Marshal(res)
+		if golden == nil {
+			golden = raw
+		} else if string(raw) != string(golden) {
+			t.Fatalf("workers=%d produced different results:\n%s\nvs\n%s", workers, raw, golden)
+		}
+		for i, r := range res {
+			if r.Key != jobs[i].Key || r.Attempts != 1 || r.Degraded {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestTransientFailureRetriesThenSucceeds(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	job := Job{
+		Key: "flaky",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			if attempt < 2 {
+				return nil, &sim.SimFault{Kind: sim.FaultBudget, Msg: "simulated overrun"}
+			}
+			return "ok", nil
+		},
+	}
+	res, err := Run(context.Background(), []Job{job}, Options{Sleep: noSleep, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Attempts != 3 || r.Degraded || r.Err != "" {
+		t.Fatalf("result = %+v, want 3 clean attempts", r)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Get("runner.jobs.retried"); v != 2 {
+		t.Fatalf("runner.jobs.retried = %d, want 2", v)
+	}
+	if v, _ := snap.Get("runner.backoff.waits"); v != 2 {
+		t.Fatalf("runner.backoff.waits = %d, want 2", v)
+	}
+	if v, _ := snap.Get("runner.jobs.completed"); v != 1 {
+		t.Fatalf("runner.jobs.completed = %d, want 1", v)
+	}
+}
+
+func TestPermanentFailureFailsFast(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	calls := 0
+	job := Job{
+		Key: "misuse",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			calls++
+			return nil, &sim.SimFault{Kind: sim.FaultAPIMisuse, Msg: "Run called re-entrantly"}
+		},
+	}
+	res, err := Run(context.Background(), []Job{job}, Options{Sleep: noSleep, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if calls != 1 {
+		t.Fatalf("permanent failure ran %d times, want 1", calls)
+	}
+	if !r.Degraded || r.Attempts != 1 || r.FaultKind != "api-misuse" {
+		t.Fatalf("result = %+v", r)
+	}
+	if v, _ := reg.Snapshot().Get("runner.jobs.degraded"); v != 1 {
+		t.Fatalf("runner.jobs.degraded = %d, want 1", v)
+	}
+}
+
+func TestExhaustedRetriesKeepPartialValue(t *testing.T) {
+	job := Job{
+		Key: "doomed",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			return map[string]int{"bits": 7}, &sim.SimFault{Kind: sim.FaultSegfault, Msg: "boom"}
+		},
+	}
+	res, err := Run(context.Background(), []Job{job}, Options{MaxAttempts: 2, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if !r.Degraded || r.Attempts != 2 || r.FaultKind != "segfault" {
+		t.Fatalf("result = %+v", r)
+	}
+	var v map[string]int
+	if err := json.Unmarshal(r.Value, &v); err != nil || v["bits"] != 7 {
+		t.Fatalf("partial value lost: %s (%v)", r.Value, err)
+	}
+}
+
+func TestPanickingJobDegradesNotCrashes(t *testing.T) {
+	job := Job{
+		Key: "panicky",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			panic("glue bug")
+		},
+	}
+	res, err := Run(context.Background(), []Job{job}, Options{Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if !r.Degraded || !strings.Contains(r.Err, "glue bug") {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Attempts != 1 {
+		t.Fatalf("non-fault panic retried %d times, want fail-fast", r.Attempts)
+	}
+}
+
+func TestDuplicateAndEmptyKeysRejected(t *testing.T) {
+	if _, err := Run(context.Background(), []Job{intJob(1), intJob(1)}, Options{}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	bad := Job{Run: func(ctx context.Context, attempt int) (any, error) { return nil, nil }}
+	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestCheckpointResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	fp := Fingerprint(map[string]int{"campaign": 1})
+	var ran atomic.Int64
+	mkJobs := func() []Job {
+		var jobs []Job
+		for i := 0; i < 6; i++ {
+			i := i
+			jobs = append(jobs, Job{
+				Key: fmt.Sprintf("job-%02d", i),
+				Run: func(ctx context.Context, attempt int) (any, error) {
+					ran.Add(1)
+					return i * 10, nil
+				},
+			})
+		}
+		return jobs
+	}
+	first, err := Run(context.Background(), mkJobs(), Options{
+		CheckpointPath: path, Fingerprint: fp, Sleep: noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("first run executed %d jobs", ran.Load())
+	}
+	keys, err := CompletedKeys(path)
+	if err != nil || len(keys) != 6 {
+		t.Fatalf("checkpoint keys = %v (%v)", keys, err)
+	}
+
+	reg := telemetry.NewRegistry()
+	second, err := Run(context.Background(), mkJobs(), Options{
+		CheckpointPath: path, Fingerprint: fp, Resume: true, Sleep: noSleep, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("resume re-executed jobs: %d total runs", ran.Load())
+	}
+	if v, _ := reg.Snapshot().Get("runner.jobs.resumed"); v != 6 {
+		t.Fatalf("runner.jobs.resumed = %d", v)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatalf("resumed results differ:\n%s\nvs\n%s", a, b)
+	}
+	for _, r := range second {
+		if !r.Resumed {
+			t.Fatalf("result %+v not marked resumed", r)
+		}
+	}
+}
+
+func TestCheckpointFingerprintMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if _, err := Run(context.Background(), []Job{intJob(0)}, Options{
+		CheckpointPath: path, Fingerprint: "aaaa", Sleep: noSleep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), []Job{intJob(0)}, Options{
+		CheckpointPath: path, Fingerprint: "bbbb", Resume: true, Sleep: noSleep,
+	}); err == nil || !strings.Contains(err.Error(), "campaign") {
+		t.Fatalf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+func TestCheckpointSchemaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	raw, _ := json.Marshal(checkpointFile{Schema: "afterimage-runner-checkpoint/999", Fingerprint: "x"})
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), []Job{intJob(0)}, Options{
+		CheckpointPath: path, Fingerprint: "x", Resume: true, Sleep: noSleep,
+	}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("unknown schema accepted: %v", err)
+	}
+}
+
+func TestCancellationSkipsWithoutCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Job{
+			Key: fmt.Sprintf("job-%02d", i),
+			Run: func(jctx context.Context, attempt int) (any, error) {
+				if i == 2 {
+					cancel()
+					return nil, jctx.Err()
+				}
+				return i, nil
+			},
+		})
+	}
+	res, err := Run(ctx, jobs, Options{CheckpointPath: path, Fingerprint: "fp", Sleep: noSleep})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled campaign returned %v", err)
+	}
+	skipped := 0
+	for _, r := range res {
+		if r.Skipped {
+			skipped++
+			if r.Value != nil || r.Degraded {
+				t.Fatalf("skipped job carries state: %+v", r)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no job was skipped by cancellation")
+	}
+	keys, err := CompletedKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys)+skipped != len(jobs) {
+		t.Fatalf("checkpoint holds %d keys with %d skipped of %d jobs", len(keys), skipped, len(jobs))
+	}
+}
+
+func TestJobTimeoutRetriesAsTransient(t *testing.T) {
+	slow := true
+	job := Job{
+		Key: "slowpoke",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			if slow {
+				slow = false
+				<-ctx.Done() // simulate the watchdog killing the run at the deadline
+				return nil, fmt.Errorf("deadline: %w", ctx.Err())
+			}
+			return "fast", nil
+		},
+	}
+	res, err := Run(context.Background(), []Job{job}, Options{
+		JobTimeout: 20 * time.Millisecond, Sleep: noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Degraded || r.Attempts != 2 {
+		t.Fatalf("timed-out job not retried: %+v", r)
+	}
+}
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		a := Delay(base, max, 42, "job-a", attempt)
+		b := Delay(base, max, 42, "job-a", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v", attempt, a, b)
+		}
+		if a < base/2 || a > max {
+			t.Fatalf("attempt %d: delay %v outside [base/2, max]", attempt, a)
+		}
+	}
+	if Delay(base, max, 42, "job-a", 0) == Delay(base, max, 42, "job-b", 0) &&
+		Delay(base, max, 42, "job-a", 1) == Delay(base, max, 42, "job-b", 1) {
+		t.Fatal("jitter does not separate jobs")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type desc struct {
+		Kind string
+		Seed int64
+	}
+	a := Fingerprint(desc{"sweep", 1})
+	if a != Fingerprint(desc{"sweep", 1}) {
+		t.Fatal("equal descriptions produced different fingerprints")
+	}
+	if a == Fingerprint(desc{"sweep", 2}) {
+		t.Fatal("different seeds share a fingerprint")
+	}
+}

@@ -80,6 +80,14 @@ type Machine struct {
 	// and overridden for the duration of a RunBudget call.
 	budgetLimit uint64
 
+	// cancel, when installed, is polled on the budget-watchdog path: a
+	// non-nil return faults the current operation with FaultBudget, so a
+	// revoked context (campaign cancellation, per-job wall deadline)
+	// terminates a run the same deterministic way a cycle overrun does.
+	// cancelTick throttles the poll to every cancelPollMask+1 operations.
+	cancel     func() error
+	cancelTick uint64
+
 	// pert receives control after every clock advance (fault injection);
 	// inPerturb guards against recursion while a perturbation itself
 	// advances the clock.
@@ -241,6 +249,35 @@ func (m *Machine) checkBudget(e *Env) {
 		}
 		panic(f)
 	}
+	if m.cancel != nil {
+		if m.cancelTick++; m.cancelTick&cancelPollMask == 0 {
+			if cerr := m.cancel(); cerr != nil {
+				f := &SimFault{
+					Kind: FaultBudget, Domain: e.domain, Cycle: m.clock, IP: e.lastIP,
+					Msg: "run canceled: " + cerr.Error(),
+				}
+				if e.task != nil {
+					f.Task = e.task.name
+				}
+				panic(f)
+			}
+		}
+	}
+}
+
+// cancelPollMask throttles the cancellation poll to one context check per
+// 256 simulated operations — cheap enough for the hot path while still
+// reacting to a revoked deadline within microseconds of wall time.
+const cancelPollMask = 255
+
+// SetCancel installs (or, with nil, removes) a cancellation probe on the
+// budget-watchdog path. The probe returns a non-nil error once the run
+// should stop — typically context.Context.Err — and the next polled
+// operation then faults with a FaultBudget SimFault, terminating the run
+// through the same recover boundary as a cycle overrun.
+func (m *Machine) SetCancel(fn func() error) {
+	m.cancel = fn
+	m.cancelTick = 0
 }
 
 // load performs one demand load in the context (pid, as) and returns its

@@ -30,6 +30,11 @@ type Hub struct {
 	phaseAgg   *PhaseSummary
 	summaries  []*PhaseSummary
 	byName     map[string]*PhaseSummary
+
+	// absorbNext is the cycle offset the next AbsorbEvents call starts at,
+	// so traces absorbed from several child machines stay disjoint and
+	// monotonic on this hub's timeline.
+	absorbNext uint64
 }
 
 // NewHub builds a hub with a fresh registry, tracing disabled, and a zero
@@ -133,6 +138,49 @@ func (h *Hub) CurrentPhase() string {
 		return ""
 	}
 	return h.phase
+}
+
+// AbsorbSummaries folds phase aggregates measured on another machine (a
+// sweep-point lab, or a checkpointed record of one) into this hub's
+// accounting, preserving first-appearance order. A campaign driver calls it
+// once per completed point, in point order, so the parent lab's
+// PhaseSummaries cover the whole campaign deterministically.
+func (h *Hub) AbsorbSummaries(sums []PhaseSummary) {
+	if h == nil {
+		return
+	}
+	for _, s := range sums {
+		agg, ok := h.byName[s.Name]
+		if !ok {
+			agg = &PhaseSummary{Name: s.Name}
+			h.byName[s.Name] = agg
+			h.summaries = append(h.summaries, agg)
+		}
+		agg.Spans += s.Spans
+		agg.Cycles += s.Cycles
+		agg.Events += s.Events
+	}
+}
+
+// AbsorbEvents appends another machine's retained trace to this hub's ring,
+// shifting cycles so the absorbed span begins after everything recorded or
+// absorbed so far (child clocks all start at zero and would otherwise
+// interleave). Events keep their phase attribution from the source machine.
+// No-op while tracing is disabled here.
+func (h *Hub) AbsorbEvents(events []Event) {
+	if h == nil || h.bus == nil || len(events) == 0 {
+		return
+	}
+	base := h.absorbNext
+	if now := h.clock(); now > base {
+		base = now
+	}
+	last := events[len(events)-1].Cycle
+	for _, ev := range events {
+		ev.Cycle += base
+		h.bus.Emit(ev)
+	}
+	h.absorbNext = base + last + 1
 }
 
 // PhaseSummaries returns per-phase aggregates in order of first appearance,

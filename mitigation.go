@@ -1,8 +1,13 @@
 package afterimage
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+
 	"afterimage/internal/champsim"
 	"afterimage/internal/power"
+	"afterimage/internal/runner"
 	"afterimage/internal/trace"
 )
 
@@ -15,6 +20,11 @@ type MitigationOptions struct {
 	// = 10 µs at 3 GHz, the paper's emulated frequency).
 	FlushIntervalCycles uint64
 	Seed                int64
+	// Runner supervises the per-application replays (worker count,
+	// checkpoint/resume, retries). The zero value runs them sequentially;
+	// any setting yields the same table. Fingerprint is derived from the
+	// study options and must not be set by the caller.
+	Runner runner.Options
 }
 
 // MitigationAppRow is one application's row in the study table.
@@ -37,12 +47,24 @@ type MitigationResult struct {
 	OverallSlowdown float64
 	// AnalyticUpperBound is the closed-form worst case (<7.3 %).
 	AnalyticUpperBound float64
+	// Degraded lists applications whose replay failed permanently; their
+	// rows are absent and the slowdown means cover the remaining apps.
+	Degraded []string `json:",omitempty"`
 }
 
 // RunMitigationStudy reproduces §8.3: the proposed clear-ip-prefetcher
 // instruction flushed every 10 µs over SPEC-like traces, versus the
 // analytic upper bound.
 func RunMitigationStudy(opts MitigationOptions) (MitigationResult, error) {
+	return RunMitigationStudyCtx(context.Background(), opts)
+}
+
+// RunMitigationStudyCtx is RunMitigationStudy under a campaign context: each
+// application's three-way replay runs as one supervised job, so the study
+// parallelises, checkpoints and resumes like the attack sweeps. An
+// application that fails permanently is listed in Degraded instead of
+// aborting the table.
+func RunMitigationStudyCtx(ctx context.Context, opts MitigationOptions) (MitigationResult, error) {
 	if opts.Instructions <= 0 {
 		opts.Instructions = 200_000
 	}
@@ -50,16 +72,55 @@ func RunMitigationStudy(opts MitigationOptions) (MitigationResult, error) {
 		opts.FlushIntervalCycles = 30_000
 	}
 	cfg := champsim.DefaultConfig()
-	results, err := champsim.RunStudy(cfg, trace.SPECLike(), opts.Instructions,
-		opts.FlushIntervalCycles, opts.Seed+7)
-	if err != nil {
-		return MitigationResult{}, err
+	profiles := trace.SPECLike()
+
+	jobs := make([]runner.Job, len(profiles))
+	for i, p := range profiles {
+		p := p
+		jobs[i] = runner.Job{
+			Key: fmt.Sprintf("mitigation/%02d@%s", i, p.Name),
+			Run: func(context.Context, int) (any, error) {
+				return champsim.RunApp(cfg, p, opts.Instructions,
+					opts.FlushIntervalCycles, opts.Seed+7)
+			},
+		}
 	}
+
+	ropts := opts.Runner
+	if ropts.Seed == 0 {
+		ropts.Seed = opts.Seed + 7
+	}
+	ropts.Fingerprint = runner.Fingerprint(struct {
+		Kind         string
+		Cfg          champsim.Config
+		Instructions int
+		Flush        uint64
+		Seed         int64
+	}{"mitigation-study/1", cfg, opts.Instructions, opts.FlushIntervalCycles, opts.Seed})
+
+	jrs, rerr := runner.Run(ctx, jobs, ropts)
+
 	out := MitigationResult{
 		AnalyticUpperBound: champsim.AnalyticUpperBound(
 			cfg.IPStride.Entries, 300, 100e-6, cfg.GHz),
 	}
-	for _, r := range results {
+	var results []champsim.AppResult
+	for i, jr := range jrs {
+		if jr.Skipped {
+			continue
+		}
+		if jr.Degraded {
+			out.Degraded = append(out.Degraded, profiles[i].Name)
+			continue
+		}
+		var r champsim.AppResult
+		if uerr := json.Unmarshal(jr.Value, &r); uerr != nil {
+			if rerr == nil {
+				rerr = fmt.Errorf("mitigation: corrupt app result %q: %w", jr.Key, uerr)
+			}
+			continue
+		}
+		results = append(results, r)
 		out.Rows = append(out.Rows, MitigationAppRow{
 			Name:            r.Profile.Name,
 			Sensitive:       r.Profile.PrefetchSensitive(),
@@ -71,7 +132,7 @@ func RunMitigationStudy(opts MitigationOptions) (MitigationResult, error) {
 		})
 	}
 	out.Top8Slowdown, out.OverallSlowdown = champsim.Summary(results, 8)
-	return out, nil
+	return out, rerr
 }
 
 // TTestResult carries one Figure 16 curve.

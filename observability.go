@@ -20,11 +20,18 @@ type MetricsSnapshot = telemetry.Snapshot
 // paths. Once the ring fills, the oldest events are overwritten and counted —
 // see TraceDropped.
 func (l *Lab) EnableTrace(capacity int) {
+	l.traceOn, l.traceCap = true, capacity
 	l.m.Telemetry().EnableTrace(capacity)
 }
 
 // DisableTrace stops event recording and discards the retained trace.
-func (l *Lab) DisableTrace() { l.m.Telemetry().DisableTrace() }
+func (l *Lab) DisableTrace() {
+	l.traceOn = false
+	l.m.Telemetry().DisableTrace()
+}
+
+// TraceEnabled reports whether event recording is on.
+func (l *Lab) TraceEnabled() bool { return l.m.Telemetry().TraceEnabled() }
 
 // TraceDropped reports how many events the trace ring overwrote (0 when the
 // whole run fit, or when tracing is off).

@@ -1,9 +1,12 @@
 package afterimage
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"afterimage/internal/runner"
 )
 
 // Report is the machine-readable summary of a full reproduction run: every
@@ -66,6 +69,10 @@ type Report struct {
 	// phase, from the telemetry hub's always-on phase accounting.
 	Phases []PhaseSummary `json:"phases,omitempty"`
 
+	// Degraded lists experiments that failed permanently under the
+	// supervised runner; their headline numbers read as zero values.
+	Degraded []string `json:"degraded,omitempty"`
+
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
@@ -76,11 +83,49 @@ type ReportOptions struct {
 	Rounds int
 	// MitigationInstructions per traced application.
 	MitigationInstructions int
+	// Runner supervises the Table 3 attack runs and the mitigation replays
+	// (worker count, checkpoint/resume, retries, per-job deadline). The
+	// zero value is sequential; any setting produces the same report.
+	// Fingerprint is derived per campaign and must not be set.
+	Runner runner.Options
 }
 
 // FullReport runs the complete reproduction suite and returns the report.
 // Expensive, deterministic per seed.
 func FullReport(opts ReportOptions) (*Report, error) {
+	return FullReportCtx(context.Background(), opts)
+}
+
+// table3Val is the JSON unit one supervised Table 3 job returns: whichever
+// of the fields its attack produces, plus the per-phase accounting from the
+// job's lab.
+type table3Val struct {
+	Success float64        `json:"success,omitempty"`
+	IPFound bool           `json:"ip_found,omitempty"`
+	Bps     float64        `json:"bps,omitempty"`
+	ErrRate float64        `json:"err_rate,omitempty"`
+	Phases  []PhaseSummary `json:"phases,omitempty"`
+}
+
+// derivedCheckpoint namespaces one checkpoint path per campaign, so a
+// report run that hosts several supervised campaigns (Table 3, mitigation)
+// can hand each its own resumable file from a single user-supplied stem.
+func derivedCheckpoint(path, tag string) string {
+	if path == "" {
+		return ""
+	}
+	return path + "." + tag
+}
+
+// FullReportCtx is FullReport under a campaign context: the Table 3 attack
+// runs and the §8.3 mitigation replays execute as supervised jobs (parallel
+// workers, retry-with-backoff, checkpoint/resume when opts.Runner asks for
+// them), while the cheap deterministic sections (reverse engineering, RSA,
+// power, comparison) stay inline. Experiments that fail permanently land in
+// Report.Degraded with zero-valued numbers instead of aborting the report.
+// When a checkpoint path is configured, the report's campaigns each persist
+// under a derived name (<path>.table3, <path>.mitigation).
+func FullReportCtx(ctx context.Context, opts ReportOptions) (*Report, error) {
 	if opts.Rounds <= 0 {
 		opts.Rounds = 100
 	}
@@ -131,30 +176,100 @@ func FullReport(opts ReportOptions) (*Report, error) {
 	r.ReverseEngineering.Fig8bBitPLRUMatching = match8b
 	r.ReverseEngineering.SGXRetention, _ = q.SGXRetention()
 
-	// Attack success rates (noisy machines, fresh lab per experiment).
-	v1Lab := NewLab(Options{Seed: opts.Seed})
-	r.Attacks.V1ThreadSuccess = v1Lab.RunVariant1(V1Options{Bits: opts.Rounds}).SuccessRate()
-	r.Phases = v1Lab.PhaseSummaries()
-	r.Attacks.V1ProcessSuccess = NewLab(Options{Seed: opts.Seed + 1}).
-		RunVariant1(V1Options{Bits: opts.Rounds, CrossProcess: true}).SuccessRate()
-	r.Attacks.V2KernelSuccess = NewLab(Options{Seed: opts.Seed + 2}).
-		RunVariant2(V2Options{Bits: opts.Rounds}).SuccessRate()
-	r.Attacks.SGXSuccess = NewLab(Options{Seed: opts.Seed + 3}).
-		RunSGX(opts.Rounds, nil).SuccessRate()
-	search := NewLab(Options{Seed: opts.Seed + 4, Quiet: true}).
-		RunVariant2(V2Options{Bits: 4, UseIPSearch: true})
-	r.Attacks.IPSearchFound = search.IPSearched && search.FoundIPLow8 == 0xA7
-
-	// Covert channel.
+	// Attack success rates (noisy machines, fresh lab per experiment) and the
+	// covert channel — Table 3 — as supervised jobs. Seeds match the historic
+	// sequential layout (+0 … +6) so the numbers are unchanged.
 	perCycle := 1.0 / 3e9
-	c1 := NewLab(Options{Seed: opts.Seed + 5}).
-		RunCovertChannel(CovertOptions{Message: make([]byte, 128)})
-	r.Covert.SingleEntryBps = c1.RawBps(perCycle)
-	r.Covert.SingleEntryError = c1.ErrorRate()
-	c24 := NewLab(Options{Seed: opts.Seed + 6}).
-		RunCovertChannel(CovertOptions{Message: make([]byte, 128), Entries: 24})
-	r.Covert.MaxEntriesBps = c24.RawBps(perCycle)
-	r.Covert.MaxEntriesError = c24.ErrorRate()
+	table3 := []struct {
+		key string
+		run func(ctx context.Context, lab *Lab) (table3Val, error)
+	}{
+		{"v1-thread", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"v1-process", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds, CrossProcess: true})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"v2-kernel", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant2E(V2Options{Bits: opts.Rounds})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"sgx", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunSGXE(opts.Rounds, nil)
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"ip-search", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant2E(V2Options{Bits: 4, UseIPSearch: true})
+			return table3Val{IPFound: res.IPSearched && res.FoundIPLow8 == 0xA7}, err
+		}},
+		{"covert-1", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128)})
+			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
+		}},
+		{"covert-24", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128), Entries: 24})
+			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
+		}},
+	}
+	jobs := make([]runner.Job, len(table3))
+	for i, t := range table3 {
+		i, t := i, t
+		labOpts := Options{Seed: opts.Seed + int64(i)}
+		if t.key == "ip-search" {
+			labOpts.Quiet = true
+		}
+		jobs[i] = runner.Job{
+			Key: t.key,
+			Run: func(jctx context.Context, _ int) (any, error) {
+				lab := NewLab(labOpts)
+				lab.ArmCancel(jctx)
+				val, err := t.run(jctx, lab)
+				val.Phases = lab.PhaseSummaries()
+				return val, err
+			},
+		}
+	}
+	ropts := opts.Runner
+	if ropts.Seed == 0 {
+		ropts.Seed = opts.Seed
+	}
+	ropts.CheckpointPath = derivedCheckpoint(opts.Runner.CheckpointPath, "table3")
+	ropts.Fingerprint = runner.Fingerprint(struct {
+		Kind   string
+		Seed   int64
+		Rounds int
+	}{"full-report-table3/1", opts.Seed, opts.Rounds})
+	jrs, rerr := runner.Run(ctx, jobs, ropts)
+	if rerr != nil {
+		return nil, fmt.Errorf("table 3 runs: %w", rerr)
+	}
+	vals := make(map[string]table3Val, len(jrs))
+	for _, jr := range jrs {
+		if jr.Skipped {
+			continue
+		}
+		if jr.Degraded {
+			r.Degraded = append(r.Degraded, jr.Key)
+			continue
+		}
+		var v table3Val
+		if err := json.Unmarshal(jr.Value, &v); err != nil {
+			return nil, fmt.Errorf("table 3 run %q: corrupt value: %w", jr.Key, err)
+		}
+		vals[jr.Key] = v
+	}
+	r.Attacks.V1ThreadSuccess = vals["v1-thread"].Success
+	r.Phases = vals["v1-thread"].Phases
+	r.Attacks.V1ProcessSuccess = vals["v1-process"].Success
+	r.Attacks.V2KernelSuccess = vals["v2-kernel"].Success
+	r.Attacks.SGXSuccess = vals["sgx"].Success
+	r.Attacks.IPSearchFound = vals["ip-search"].IPFound
+	r.Covert.SingleEntryBps = vals["covert-1"].Bps
+	r.Covert.SingleEntryError = vals["covert-1"].ErrRate
+	r.Covert.MaxEntriesBps = vals["covert-24"].Bps
+	r.Covert.MaxEntriesError = vals["covert-24"].ErrRate
 
 	// RSA.
 	rsaLab := NewLab(Options{Seed: opts.Seed + 7})
@@ -168,12 +283,18 @@ func FullReport(opts ReportOptions) (*Report, error) {
 	r.Power.AlignedFinalT = RunTTest(true, opts.Seed).FinalT()
 	r.Power.RandomFinalT = RunTTest(false, opts.Seed).FinalT()
 
-	// Mitigation.
-	mit, err := RunMitigationStudy(MitigationOptions{
+	// Mitigation (its own supervised campaign, own derived checkpoint).
+	mropts := opts.Runner
+	mropts.CheckpointPath = derivedCheckpoint(opts.Runner.CheckpointPath, "mitigation")
+	mit, err := RunMitigationStudyCtx(ctx, MitigationOptions{
 		Instructions: opts.MitigationInstructions, Seed: opts.Seed,
+		Runner: mropts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mitigation study: %w", err)
+	}
+	for _, name := range mit.Degraded {
+		r.Degraded = append(r.Degraded, "mitigation/"+name)
 	}
 	r.Mitigation.Top8Slowdown = mit.Top8Slowdown
 	r.Mitigation.OverallSlowdown = mit.OverallSlowdown

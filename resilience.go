@@ -1,6 +1,7 @@
 package afterimage
 
 import (
+	"context"
 	"fmt"
 
 	"afterimage/internal/faults"
@@ -72,6 +73,21 @@ func (l *Lab) InjectFaults(cfg faults.Config) *faults.Engine {
 	// Replaces any previous engine's faults.* samplers in the registry.
 	eng.RegisterMetrics(l.m.Telemetry().Registry())
 	return eng
+}
+
+// ArmCancel wires a context into the simulator's watchdog path: once ctx is
+// done (canceled or past its deadline), every further simulated operation
+// faults with a FaultBudget SimFault — the same typed, recoverable
+// termination a MaxCycles overrun produces — so the Run*E variants return
+// partial results plus the error instead of running to completion. A nil
+// ctx disarms the probe. The supervised runner arms each job's context
+// before the attack starts; per-job wall deadlines ride on the same hook.
+func (l *Lab) ArmCancel(ctx context.Context) {
+	if ctx == nil {
+		l.m.SetCancel(nil)
+		return
+	}
+	l.m.SetCancel(ctx.Err)
 }
 
 // RunCovertChannelE is RunCovertChannel with graceful failure: symbols

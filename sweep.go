@@ -1,9 +1,12 @@
 package afterimage
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"afterimage/internal/faults"
+	"afterimage/internal/runner"
 )
 
 // SweepAttack selects which attack a fault sweep drives.
@@ -66,6 +69,13 @@ type SweepOptions struct {
 	// MaxCycles arms the per-point watchdog so a pathological point cannot
 	// hang the sweep; 0 leaves it off.
 	MaxCycles uint64
+	// Runner supervises the per-point jobs: worker count, retry budget and
+	// backoff, checkpoint/resume, per-job wall deadline. The zero value runs
+	// the points sequentially with the default retry policy and no
+	// checkpoint; for any setting the curve is identical to a sequential
+	// straight-through run of the same seed. Fingerprint is derived from the
+	// campaign options and must not be set by the caller.
+	Runner runner.Options
 }
 
 // SweepPoint is one (intensity → outcome) sample.
@@ -80,9 +90,28 @@ type SweepPoint struct {
 	Cycles         uint64  `json:"cycles"`
 	// FaultEvents is how many perturbations the engine applied.
 	FaultEvents uint64 `json:"fault_events"`
-	// Err records the fault that terminated the run early, if any; the
-	// success rate then covers only the bits observed before it.
+	// Err records the fault that terminated the final attempt early, if
+	// any; the success rate then covers only the bits observed before it.
+	// Kept as the human-readable message for compatibility — FaultKind is
+	// the machine-readable classification.
 	Err string `json:"err,omitempty"`
+	// FaultKind is the sim.FaultKind spelling behind Err ("cycle-budget",
+	// "segfault", ...), empty when the point completed cleanly or the error
+	// was not a typed simulator fault. Curve consumers use it to tell
+	// budget kills from injected crashes without parsing Err.
+	FaultKind string `json:"fault_kind,omitempty"`
+	// Attempts is how many supervised runs the point consumed; omitted when
+	// the first attempt stood. Retried attempts re-derive the fault-engine
+	// seed from the attempt number, so each is an independent trial of the
+	// same intensity.
+	Attempts int `json:"attempts,omitempty"`
+	// Degraded marks a point whose failure was permanent or whose retry
+	// budget ran out; the campaign recorded it and continued.
+	Degraded bool `json:"degraded,omitempty"`
+	// Phases carries the point lab's attack-phase accounting
+	// (train/trigger/probe/decode), which the parent lab also absorbs into
+	// its own PhaseSummaries.
+	Phases []PhaseSummary `json:"phases,omitempty"`
 }
 
 // SweepResult is a success-rate-vs-fault-intensity curve.
@@ -92,14 +121,33 @@ type SweepResult struct {
 	Points []SweepPoint `json:"points"`
 }
 
+// JSON renders the curve with stable indentation — the byte-identity unit of
+// the parallel/sequential/resume guarantee.
+func (r SweepResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
 // RunFaultSweep measures how one attack degrades under increasing fault-
 // injection intensity: for each requested intensity it boots a fresh lab
 // (derived from this lab's options, with the FullReport-aligned seed
 // offset), installs a deterministic fault engine, runs the attack through
 // its error-hardened variant, and records accuracy, confidence and applied
 // perturbations. The whole curve is a pure function of the options and the
-// lab seed — rerunning with the same seed reproduces it point for point.
+// lab seed — rerunning with the same seed reproduces it point for point,
+// regardless of worker count or checkpoint resume.
 func (l *Lab) RunFaultSweep(o SweepOptions) SweepResult {
+	res, _ := l.RunFaultSweepCtx(context.Background(), o)
+	return res
+}
+
+// RunFaultSweepCtx is RunFaultSweep under a campaign context: the points run
+// as supervised jobs on o.Runner's worker pool, transient per-point faults
+// are retried with deterministic backoff, permanently failing points are
+// recorded as degraded instead of aborting the curve, and — when a
+// checkpoint is configured — every completed point is persisted so a killed
+// sweep resumes where it stopped. A canceled context returns the completed
+// prefix of the curve together with the cancellation error.
+func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult, error) {
 	if len(o.Intensities) == 0 {
 		o.Intensities = []float64{0, 0.5, 1, 2, 4}
 	}
@@ -112,45 +160,116 @@ func (l *Lab) RunFaultSweep(o SweepOptions) SweepResult {
 		labOpts.MaxCycles = o.MaxCycles
 	}
 
+	// childLabs retains each point's lab (fresh runs only) so the parent can
+	// absorb its event trace after the pool drains; distinct indices make
+	// the writes race-free under parallel workers.
+	childLabs := make([]*Lab, len(o.Intensities))
+	jobs := make([]runner.Job, len(o.Intensities))
+	for i, intensity := range o.Intensities {
+		i, intensity := i, intensity
+		jobs[i] = runner.Job{
+			Key: fmt.Sprintf("%s/%02d@%g", o.Attack, i, intensity),
+			Run: func(jctx context.Context, attempt int) (any, error) {
+				lab := NewLab(labOpts)
+				if l.traceOn {
+					lab.EnableTrace(l.traceCap)
+				}
+				lab.ArmCancel(jctx)
+				var eng *faults.Engine
+				if intensity > 0 {
+					fc := o.Faults
+					fc.Intensity = intensity
+					if fc.Seed == 0 {
+						fc.Seed = labOpts.Seed + 811
+					}
+					// Retries are independent trials of the same intensity:
+					// salt the schedule, keep the lab seed (point identity).
+					fc.Seed += int64(attempt) * 7919
+					eng = lab.InjectFaults(fc)
+				}
+				pt := SweepPoint{Intensity: intensity}
+				var err error
+				switch o.Attack {
+				case SweepV1Process:
+					var r LeakResult
+					r, err = lab.RunVariant1E(V1Options{Bits: o.Bits, CrossProcess: true})
+					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+				case SweepV2Kernel:
+					var r V2Result
+					r, err = lab.RunVariant2E(V2Options{Bits: o.Bits})
+					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+				case SweepCovert:
+					var r CovertResult
+					r, err = lab.RunCovertChannelE(CovertOptions{Message: make([]byte, o.Bits)})
+					pt.SuccessRate, pt.Cycles = 1-r.ErrorRate(), r.Cycles
+				default:
+					var r LeakResult
+					r, err = lab.RunVariant1E(V1Options{Bits: o.Bits})
+					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+				}
+				if err != nil {
+					pt.Err = err.Error()
+					if f, ok := AsFault(err); ok {
+						pt.FaultKind = f.Kind.String()
+					}
+				}
+				if eng != nil {
+					pt.FaultEvents = eng.Stats().Total
+				}
+				pt.Phases = lab.PhaseSummaries()
+				if l.traceOn {
+					childLabs[i] = lab
+				}
+				return pt, err
+			},
+		}
+	}
+
+	ropts := o.Runner
+	if ropts.Seed == 0 {
+		ropts.Seed = labOpts.Seed
+	}
+	if ropts.Metrics == nil {
+		ropts.Metrics = l.m.Telemetry().Registry()
+	}
+	ropts.Fingerprint = runner.Fingerprint(struct {
+		Kind        string
+		Lab         Options
+		Attack      string
+		Intensities []float64
+		Bits        int
+		Faults      faults.Config
+	}{"fault-sweep/1", labOpts, o.Attack.String(), o.Intensities, o.Bits, o.Faults})
+
+	jrs, rerr := runner.Run(ctx, jobs, ropts)
+
 	res := SweepResult{Attack: o.Attack.String(), Model: l.ModelName()}
-	for _, intensity := range o.Intensities {
-		lab := NewLab(labOpts)
-		var eng *faults.Engine
-		if intensity > 0 {
-			fc := o.Faults
-			fc.Intensity = intensity
-			if fc.Seed == 0 {
-				fc.Seed = labOpts.Seed + 811
+	tel := l.m.Telemetry()
+	for i, jr := range jrs {
+		if jr.Skipped {
+			continue // canceled before completion; a resume re-runs it
+		}
+		pt := SweepPoint{Intensity: o.Intensities[i]}
+		if len(jr.Value) > 0 {
+			if uerr := json.Unmarshal(jr.Value, &pt); uerr != nil && rerr == nil {
+				rerr = fmt.Errorf("sweep: corrupt point %q: %w", jr.Key, uerr)
 			}
-			eng = lab.InjectFaults(fc)
 		}
-		pt := SweepPoint{Intensity: intensity}
-		var err error
-		switch o.Attack {
-		case SweepV1Process:
-			var r LeakResult
-			r, err = lab.RunVariant1E(V1Options{Bits: o.Bits, CrossProcess: true})
-			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
-		case SweepV2Kernel:
-			var r V2Result
-			r, err = lab.RunVariant2E(V2Options{Bits: o.Bits})
-			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
-		case SweepCovert:
-			var r CovertResult
-			r, err = lab.RunCovertChannelE(CovertOptions{Message: make([]byte, o.Bits)})
-			pt.SuccessRate, pt.Cycles = 1-r.ErrorRate(), r.Cycles
-		default:
-			var r LeakResult
-			r, err = lab.RunVariant1E(V1Options{Bits: o.Bits})
-			pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+		if jr.Err != "" && pt.Err == "" {
+			pt.Err = jr.Err
 		}
-		if err != nil {
-			pt.Err = err.Error()
+		if pt.FaultKind == "" {
+			pt.FaultKind = jr.FaultKind
 		}
-		if eng != nil {
-			pt.FaultEvents = eng.Stats().Total
+		if jr.Attempts > 1 {
+			pt.Attempts = jr.Attempts
+		}
+		pt.Degraded = jr.Degraded
+		tel.AbsorbSummaries(pt.Phases)
+		if childLabs[i] != nil {
+			tel.AbsorbEvents(childLabs[i].m.Telemetry().Events())
 		}
 		res.Points = append(res.Points, pt)
 	}
-	return res
+	return res, rerr
 }
