@@ -70,6 +70,14 @@ type Options struct {
 	// FaultBudget SimFault, so runaway experiments terminate with a typed
 	// error (via the Run*E variants) instead of hanging. 0 disables it.
 	MaxCycles uint64
+	// AuditEvery enables the invariant-audit cadence: a full structural
+	// audit of the machine state every N domain switches, with a failing
+	// audit surfacing as a FaultCorruption SimFault through the Run*E
+	// variants. 0 disables the cadence (one integer compare per switch).
+	// Audits are read-only, so enabling them never changes clean-run
+	// results. Campaign drivers (RunFaultSweep, FullReport) propagate this
+	// into every per-point lab.
+	AuditEvery int
 }
 
 // Lab is a simulated machine plus bookkeeping for the experiments.
@@ -85,8 +93,12 @@ type Lab struct {
 	traceCap int
 }
 
-// NewLab boots a fresh simulated machine.
+// NewLab boots a fresh simulated machine. Invalid options panic with a
+// typed *OptionError; NewLabE is the error-returning variant.
 func NewLab(opts Options) *Lab {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	var cfg sim.Config
 	switch opts.Model {
 	case Haswell:
@@ -104,7 +116,9 @@ func NewLab(opts Options) *Lab {
 		cfg.DCUEnabled, cfg.DPLEnabled, cfg.StreamerEnabled = false, false, false
 	}
 	cfg.MaxCycles = opts.MaxCycles
-	return &Lab{opts: opts, m: sim.NewMachine(cfg), rng: rand.New(rand.NewSource(opts.Seed + 31))}
+	m := sim.NewMachine(cfg)
+	m.SetAuditEvery(opts.AuditEvery)
+	return &Lab{opts: opts, m: m, rng: rand.New(rand.NewSource(opts.Seed + 31))}
 }
 
 // Machine exposes the underlying simulator for advanced use (building

@@ -23,6 +23,7 @@ func TestRecoverAsErrorFaultKindRoundTrip(t *testing.T) {
 		{FaultBadSyscall, runner.ClassTransient},
 		{FaultAPIMisuse, runner.ClassPermanent},
 		{FaultOOM, runner.ClassTransient},
+		{FaultCorruption, runner.ClassTransient},
 	}
 	for _, tc := range kinds {
 		t.Run(tc.kind.String(), func(t *testing.T) {

@@ -25,7 +25,7 @@ func main() {
 	flag.Parse()
 	obs.Start()
 
-	lab := afterimage.NewLab(afterimage.Options{Seed: *seed})
+	lab := afterimage.NewLab(obs.LabOptions(afterimage.Options{Seed: *seed}))
 	obs.Observe(lab)
 	res := lab.RunCovertChannel(afterimage.CovertOptions{
 		Message:    []byte(*msg),

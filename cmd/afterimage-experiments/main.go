@@ -168,13 +168,13 @@ func runExperiment(e experiment, seed int64) (err error) {
 }
 
 func quietLab(seed int64) *afterimage.Lab {
-	lab := afterimage.NewLab(afterimage.Options{Seed: seed, Quiet: true})
+	lab := afterimage.NewLab(obs.LabOptions(afterimage.Options{Seed: seed, Quiet: true}))
 	obs.Observe(lab)
 	return lab
 }
 
 func noisyLab(seed int64) *afterimage.Lab {
-	lab := afterimage.NewLab(afterimage.Options{Seed: seed})
+	lab := afterimage.NewLab(obs.LabOptions(afterimage.Options{Seed: seed}))
 	obs.Observe(lab)
 	return lab
 }
@@ -506,6 +506,9 @@ func runFaultSweep(seed int64) {
 			}
 			if p.Degraded {
 				note += "  DEGRADED"
+			}
+			if p.Quarantined {
+				note += "  QUARANTINED"
 			}
 			fmt.Printf("  %9.2f  %6.1f%%  %10.2f  %6d %s%s\n",
 				p.Intensity, p.SuccessRate*100, p.MeanConfidence, p.FaultEvents,

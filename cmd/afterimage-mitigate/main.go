@@ -60,7 +60,7 @@ func main() {
 	// Security check: the mitigation must actually kill the attack. The
 	// error-hardened variant keeps the table output above intact even if the
 	// check itself faults.
-	lab, err := afterimage.NewLabE(afterimage.Options{Seed: *seed, MitigationFlush: true})
+	lab, err := afterimage.NewLabE(obs.LabOptions(afterimage.Options{Seed: *seed, MitigationFlush: true}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afterimage-mitigate: security check unavailable: %v\n", err)
 		os.Exit(1)

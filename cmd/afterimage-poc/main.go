@@ -42,7 +42,7 @@ func main() {
 	ctx, stop := rflags.Context(context.Background())
 	defer stop()
 
-	opts := afterimage.Options{Seed: *seed, MitigationFlush: *miti, MaxCycles: *maxCycles}
+	opts := obs.LabOptions(afterimage.Options{Seed: *seed, MitigationFlush: *miti, MaxCycles: *maxCycles})
 	if *model == "haswell" {
 		opts.Model = afterimage.Haswell
 	}

@@ -23,7 +23,7 @@ func main() {
 	flag.Parse()
 	obs.Start()
 
-	opts := afterimage.Options{Seed: *seed, Quiet: true}
+	opts := obs.LabOptions(afterimage.Options{Seed: *seed, Quiet: true})
 	if *model == "haswell" {
 		opts.Model = afterimage.Haswell
 	}

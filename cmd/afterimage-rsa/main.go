@@ -25,7 +25,7 @@ func main() {
 	flag.Parse()
 	obs.Start()
 
-	lab := afterimage.NewLab(afterimage.Options{Seed: *seed})
+	lab := afterimage.NewLab(obs.LabOptions(afterimage.Options{Seed: *seed}))
 	obs.Observe(lab)
 	opts := afterimage.RSAOptions{KeyBits: *keyBits, ItersPerBit: *iters, Pipelined: *pipe}
 	if *fast {

@@ -105,6 +105,9 @@ func (l *Lab) RunCovertChannel(opts CovertOptions) CovertResult {
 }
 
 func (l *Lab) runCovertChannel(opts CovertOptions) (CovertResult, error) {
+	if err := opts.Validate(); err != nil {
+		return CovertResult{}, err
+	}
 	if len(opts.Message) == 0 {
 		opts.Message = []byte("afterimage covert channel payload")
 	}

@@ -186,3 +186,61 @@ func (h *Hierarchy) Flush(p mem.PAddr) {
 
 // Contains reports whether any level holds the line of p.
 func (h *Hierarchy) Contains(p mem.PAddr) bool { return h.Probe(p) != LevelDRAM }
+
+// Audit deep-checks every level plus the cross-level inclusivity invariant:
+// each valid L1 or L2 line must also be resident in the LLC. It returns
+// every broken rule.
+func (h *Hierarchy) Audit() []error {
+	errs := h.L1.Audit()
+	errs = append(errs, h.L2.Audit()...)
+	errs = append(errs, h.LLC.Audit()...)
+	for _, inner := range []*Cache{h.L1, h.L2} {
+		c := inner
+		c.VisitLines(func(line uint64) bool {
+			if !h.LLC.Contains(lineAddr(line, h.LLC.cfg.LineSize)) {
+				errs = append(errs, fmt.Errorf("hierarchy: %s line %#x not present in LLC (inclusivity broken)", c.cfg.Name, line))
+			}
+			return true
+		})
+	}
+	return errs
+}
+
+// HierarchySnapshot captures all three levels.
+type HierarchySnapshot struct {
+	L1, L2, LLC Snapshot
+}
+
+// Snapshot captures the full hierarchy state.
+func (h *Hierarchy) Snapshot() HierarchySnapshot {
+	return HierarchySnapshot{L1: h.L1.Snapshot(), L2: h.L2.Snapshot(), LLC: h.LLC.Snapshot()}
+}
+
+// Restore adopts a hierarchy snapshot.
+func (h *Hierarchy) Restore(snap HierarchySnapshot) error {
+	if err := h.L1.Restore(snap.L1); err != nil {
+		return err
+	}
+	if err := h.L2.Restore(snap.L2); err != nil {
+		return err
+	}
+	return h.LLC.Restore(snap.LLC)
+}
+
+// CorruptInclusivity silently drops the first valid L1 line from the LLC
+// only, breaking the inclusion invariant without touching the inner levels
+// — the kind of desync a back-invalidation bug would cause. It reports
+// whether a line was found to corrupt.
+func (h *Hierarchy) CorruptInclusivity() bool {
+	var victim uint64
+	found := false
+	h.L1.VisitLines(func(line uint64) bool {
+		victim = line
+		found = true
+		return false
+	})
+	if !found {
+		return false
+	}
+	return h.LLC.Remove(lineAddr(victim, h.LLC.cfg.LineSize))
+}

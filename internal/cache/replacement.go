@@ -7,7 +7,8 @@ package cache
 
 import (
 	"fmt"
-	"math/rand"
+
+	"afterimage/internal/detrand"
 )
 
 // Policy is a per-set replacement policy over a fixed number of ways.
@@ -24,6 +25,17 @@ type Policy interface {
 	Insert(way int)
 	// Name identifies the policy.
 	Name() string
+	// Save serialises the policy's replacement state as a flat word slice
+	// whose layout is private to the policy. Load(Save()) must restore an
+	// equivalent policy.
+	Save() []uint64
+	// Load adopts previously saved state verbatim — no sanitisation, so a
+	// corrupted save sticks and Audit can observe it.
+	Load(state []uint64)
+	// Audit checks the policy's structural invariants (e.g. Bit-PLRU never
+	// holds all MRU bits set) and returns a description of the first
+	// violation, or nil.
+	Audit() error
 }
 
 // PolicyKind enumerates the built-in replacement policies.
@@ -74,7 +86,7 @@ func NewPolicy(kind PolicyKind, w int, seed int64) Policy {
 	case TreePLRU:
 		return newTreePLRU(w)
 	case RandomPolicy:
-		return &randomPolicy{ways: w, rng: rand.New(rand.NewSource(seed))}
+		return newRandomPolicy(w, seed)
 	default:
 		panic(fmt.Sprintf("cache: unknown policy kind %v", kind))
 	}
@@ -104,6 +116,25 @@ func (p *lru) Victim() int {
 func (p *lru) Insert(way int) { p.Touch(way) }
 func (p *lru) Name() string   { return "LRU" }
 
+// Save layout: [clock, stamps...].
+func (p *lru) Save() []uint64 {
+	return append([]uint64{p.clock}, p.stamps...)
+}
+
+func (p *lru) Load(state []uint64) {
+	p.clock = state[0]
+	copy(p.stamps, state[1:])
+}
+
+func (p *lru) Audit() error {
+	for i, s := range p.stamps {
+		if s > p.clock {
+			return fmt.Errorf("LRU: way %d stamp %d ahead of clock %d", i, s, p.clock)
+		}
+	}
+	return nil
+}
+
 // fifo evicts in insertion order; Touch is a no-op.
 type fifo struct {
 	order []uint64
@@ -126,6 +157,25 @@ func (p *fifo) Victim() int {
 
 func (p *fifo) Insert(way int) { p.clock++; p.order[way] = p.clock }
 func (p *fifo) Name() string   { return "FIFO" }
+
+// Save layout: [clock, order...].
+func (p *fifo) Save() []uint64 {
+	return append([]uint64{p.clock}, p.order...)
+}
+
+func (p *fifo) Load(state []uint64) {
+	p.clock = state[0]
+	copy(p.order, state[1:])
+}
+
+func (p *fifo) Audit() error {
+	for i, s := range p.order {
+		if s > p.clock {
+			return fmt.Errorf("FIFO: way %d stamp %d ahead of clock %d", i, s, p.clock)
+		}
+	}
+	return nil
+}
 
 // bitPLRU keeps one MRU bit per way. A touch sets the way's bit; when that
 // would make all bits one, every other bit is cleared first. The victim is
@@ -165,6 +215,59 @@ func (p *bitPLRU) Victim() int {
 
 func (p *bitPLRU) Insert(way int) { p.Touch(way) }
 func (p *bitPLRU) Name() string   { return "Bit-PLRU" }
+
+// Save layout: [ones, bits...].
+func (p *bitPLRU) Save() []uint64 {
+	out := make([]uint64, 1+len(p.mru))
+	out[0] = uint64(p.ones)
+	for i, b := range p.mru {
+		if b {
+			out[1+i] = 1
+		}
+	}
+	return out
+}
+
+func (p *bitPLRU) Load(state []uint64) {
+	p.ones = int(state[0])
+	for i := range p.mru {
+		p.mru[i] = state[1+i] != 0
+	}
+}
+
+// Audit enforces the two Bit-PLRU invariants Touch maintains: the ones
+// counter matches the population count, and at least one MRU bit is always
+// clear (the all-ones state is reset eagerly, never stored).
+func (p *bitPLRU) Audit() error {
+	pop := 0
+	for _, b := range p.mru {
+		if b {
+			pop++
+		}
+	}
+	if pop != p.ones {
+		return fmt.Errorf("Bit-PLRU: ones counter %d != popcount %d", p.ones, pop)
+	}
+	if pop == len(p.mru) && len(p.mru) > 0 {
+		return fmt.Errorf("Bit-PLRU: all %d MRU bits set (all-ones state must never persist)", pop)
+	}
+	return nil
+}
+
+// CorruptBitPLRU forces a Bit-PLRU policy into the forbidden all-ones state
+// (every MRU bit set, counter agreeing), which Touch can never produce and
+// Audit must flag. It reports false when the policy is not Bit-PLRU.
+func CorruptBitPLRU(p Policy) bool {
+	bp, ok := p.(*bitPLRU)
+	if !ok || len(bp.mru) == 0 {
+		return false
+	}
+	for i := range bp.mru {
+		bp.mru[i] = true
+	}
+	bp.ones = len(bp.mru)
+	return true
+}
 
 // treePLRU is the classic binary-tree pseudo-LRU (ways must be a power of 2;
 // other widths are rounded up internally and out-of-range victims re-walked).
@@ -211,12 +314,46 @@ func (p *treePLRU) Victim() int {
 func (p *treePLRU) Insert(way int) { p.Touch(way) }
 func (p *treePLRU) Name() string   { return "Tree-PLRU" }
 
-type randomPolicy struct {
-	ways int
-	rng  *rand.Rand
+// Save layout: [bits...] (any bit pattern is a legal tree state).
+func (p *treePLRU) Save() []uint64 {
+	out := make([]uint64, len(p.bits))
+	for i, b := range p.bits {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
 }
 
-func (p *randomPolicy) Touch(int)      {}
-func (p *randomPolicy) Victim() int    { return p.rng.Intn(p.ways) }
+func (p *treePLRU) Load(state []uint64) {
+	for i := range p.bits {
+		p.bits[i] = state[i] != 0
+	}
+}
+
+func (p *treePLRU) Audit() error { return nil }
+
+// randomPolicy evicts pseudo-randomly from a counting source so its RNG
+// position snapshots alongside the rest of the policy state.
+type randomPolicy struct {
+	ways int
+	src  *detrand.Source
+}
+
+func newRandomPolicy(w int, seed int64) *randomPolicy {
+	return &randomPolicy{ways: w, src: detrand.NewSource(seed)}
+}
+
+func (p *randomPolicy) Touch(int) {}
+func (p *randomPolicy) Victim() int {
+	// rand.Rand.Intn for small n reduces to one Int63 draw; inline the
+	// equivalent so the draw count maps one-to-one onto source positions.
+	return int(p.src.Int63() % int64(p.ways))
+}
 func (p *randomPolicy) Insert(way int) {}
 func (p *randomPolicy) Name() string   { return "Random" }
+
+// Save layout: [draws] — the RNG position is the policy's only state.
+func (p *randomPolicy) Save() []uint64      { return []uint64{p.src.Draws()} }
+func (p *randomPolicy) Load(state []uint64) { p.src.Restore(state[0]) }
+func (p *randomPolicy) Audit() error        { return nil }

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"fmt"
+
+	"afterimage/internal/mem"
+	"afterimage/internal/statehash"
+)
+
+// lineAddr converts a physical line address back to a byte address for the
+// slice/set mapping functions.
+func lineAddr(line, lineSize uint64) mem.PAddr { return mem.PAddr(line * lineSize) }
+
+// SetSnapshot captures one associative set: line addresses, valid and
+// prefetched bits, and the replacement policy's opaque state.
+type SetSnapshot struct {
+	Lines      []uint64
+	Valid      []bool
+	Prefetched []bool
+	Policy     []uint64
+}
+
+// Snapshot captures a full cache level: every set of every slice plus the
+// cumulative counters (the counters feed reports, so a restored machine must
+// reproduce them too).
+type Snapshot struct {
+	Sets           [][]SetSnapshot // [slice][set]
+	Hits           uint64
+	Misses         uint64
+	PrefetchFills  uint64
+	UsefulPrefetch uint64
+}
+
+// Snapshot captures the cache's complete state.
+func (c *Cache) Snapshot() Snapshot {
+	snap := Snapshot{
+		Sets:           make([][]SetSnapshot, len(c.sets)),
+		Hits:           c.hits,
+		Misses:         c.misses,
+		PrefetchFills:  c.prefetchFills,
+		UsefulPrefetch: c.usefulPrefetch,
+	}
+	for si, slice := range c.sets {
+		snap.Sets[si] = make([]SetSnapshot, len(slice))
+		for i, s := range slice {
+			snap.Sets[si][i] = SetSnapshot{
+				Lines:      append([]uint64(nil), s.lines...),
+				Valid:      append([]bool(nil), s.valid...),
+				Prefetched: append([]bool(nil), s.prefetched...),
+				Policy:     s.policy.Save(),
+			}
+		}
+	}
+	return snap
+}
+
+// Restore adopts a snapshot previously taken from a cache with the same
+// geometry. State is adopted verbatim (no sanitisation), so a snapshot of a
+// corrupted cache restores as corrupted and Audit still flags it.
+func (c *Cache) Restore(snap Snapshot) error {
+	if len(snap.Sets) != len(c.sets) {
+		return fmt.Errorf("cache %q: snapshot has %d slices, cache has %d", c.cfg.Name, len(snap.Sets), len(c.sets))
+	}
+	for si, slice := range c.sets {
+		if len(snap.Sets[si]) != len(slice) {
+			return fmt.Errorf("cache %q: snapshot slice %d has %d sets, cache has %d", c.cfg.Name, si, len(snap.Sets[si]), len(slice))
+		}
+		for i, s := range slice {
+			ss := snap.Sets[si][i]
+			if len(ss.Lines) != len(s.lines) {
+				return fmt.Errorf("cache %q: snapshot set %d/%d has %d ways, cache has %d", c.cfg.Name, si, i, len(ss.Lines), len(s.lines))
+			}
+			copy(s.lines, ss.Lines)
+			copy(s.valid, ss.Valid)
+			copy(s.prefetched, ss.Prefetched)
+			s.policy.Load(ss.Policy)
+		}
+	}
+	c.hits = snap.Hits
+	c.misses = snap.Misses
+	c.prefetchFills = snap.PrefetchFills
+	c.usefulPrefetch = snap.UsefulPrefetch
+	return nil
+}
+
+// StateHash folds the cache's complete state — contents, replacement state
+// and counters — into a stable 64-bit digest.
+func (c *Cache) StateHash() uint64 {
+	h := statehash.New()
+	h.Str(c.cfg.Name)
+	for _, slice := range c.sets {
+		for _, s := range slice {
+			h.U64s(s.lines).Bools(s.valid).Bools(s.prefetched).U64s(s.policy.Save())
+		}
+	}
+	h.U64(c.hits).U64(c.misses).U64(c.prefetchFills).U64(c.usefulPrefetch)
+	return h.Sum()
+}
+
+// Audit deep-checks the level's structural invariants: no duplicate valid
+// lines within a set, every valid line resident in the slice/set its address
+// maps to, and the per-set replacement policy internally consistent. It
+// returns every broken rule.
+func (c *Cache) Audit() []error {
+	var errs []error
+	for si, slice := range c.sets {
+		for i, s := range slice {
+			for w, valid := range s.valid {
+				if !valid {
+					continue
+				}
+				line := s.lines[w]
+				p := lineAddr(line, c.cfg.LineSize)
+				if got := c.SliceOf(p); got != si {
+					errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to slice %d", c.cfg.Name, si, i, w, line, got))
+				}
+				if got := c.SetOf(p); got != uint64(i) {
+					errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to set %d", c.cfg.Name, si, i, w, line, got))
+				}
+				for w2 := w + 1; w2 < len(s.valid); w2++ {
+					if s.valid[w2] && s.lines[w2] == line {
+						errs = append(errs, fmt.Errorf("cache %q: slice %d set %d holds line %#x in ways %d and %d", c.cfg.Name, si, i, line, w, w2))
+					}
+				}
+			}
+			if err := s.policy.Audit(); err != nil {
+				errs = append(errs, fmt.Errorf("cache %q: slice %d set %d policy: %w", c.cfg.Name, si, i, err))
+			}
+		}
+	}
+	return errs
+}
+
+// VisitLines calls fn for every valid physical line address in the cache,
+// stopping early if fn returns false. Iteration order is slice-major and
+// deterministic.
+func (c *Cache) VisitLines(fn func(line uint64) bool) {
+	for _, slice := range c.sets {
+		for _, s := range slice {
+			for w, valid := range s.valid {
+				if valid && !fn(s.lines[w]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// PolicyAt exposes the replacement policy of one set (slice-major indexing)
+// so fault injection can corrupt replacement state directly.
+func (c *Cache) PolicyAt(slice int, set uint64) Policy {
+	return c.sets[slice][set].policy
+}

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, FIFO, BitPLRU, TreePLRU, RandomPolicy} {
+		t.Run(pol.String(), func(t *testing.T) {
+			c := MustNew(small(pol))
+			for i := uint64(0); i < 40; i++ {
+				p := mem.PAddr(i * 0x240)
+				if !c.Access(p) {
+					c.Fill(p)
+				}
+			}
+			if errs := c.Audit(); len(errs) != 0 {
+				t.Fatalf("populated cache fails audit: %v", errs)
+			}
+			snap := c.Snapshot()
+			h := c.StateHash()
+
+			for i := uint64(0); i < 16; i++ {
+				c.Fill(mem.PAddr(0x80000 + i*0x40))
+			}
+			if c.StateHash() == h {
+				t.Fatal("hash unchanged after mutation")
+			}
+			if err := c.Restore(snap); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if got := c.StateHash(); got != h {
+				t.Fatalf("restored hash %#x, want %#x", got, h)
+			}
+			if errs := c.Audit(); len(errs) != 0 {
+				t.Fatalf("restored cache fails audit: %v", errs)
+			}
+		})
+	}
+}
+
+func TestCacheRestoreRejectsGeometryMismatch(t *testing.T) {
+	c := MustNew(small(LRU))
+	snap := c.Snapshot()
+	other := MustNew(Config{Name: "t2", SizeBytes: 8 << 10, Ways: 4, LineSize: 64, Policy: LRU})
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore accepted a snapshot with mismatched geometry")
+	}
+}
+
+// hierHash folds the three level hashes, the way sim's component map does.
+func hierHash(h *Hierarchy) [3]uint64 {
+	return [3]uint64{h.L1.StateHash(), h.L2.StateHash(), h.LLC.StateHash()}
+}
+
+func TestHierarchySnapshotRoundTripAndInclusivityAudit(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		L1:  Config{Name: "l1", SizeBytes: 8 << 10, Ways: 4, LineSize: 64, Policy: BitPLRU},
+		L2:  Config{Name: "l2", SizeBytes: 32 << 10, Ways: 4, LineSize: 64, Policy: LRU},
+		LLC: Config{Name: "llc", SizeBytes: 128 << 10, Ways: 8, LineSize: 64, Policy: LRU},
+		Lat: Latencies{L1: 4, L2: 12, LLC: 40, DRAM: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		h.Load(mem.PAddr(i * 0x1040))
+	}
+	if errs := h.Audit(); len(errs) != 0 {
+		t.Fatalf("hierarchy fails audit after loads: %v", errs)
+	}
+	snap := h.Snapshot()
+	hash := hierHash(h)
+
+	for i := uint64(0); i < 32; i++ {
+		h.Load(mem.PAddr(0x200000 + i*0x40))
+	}
+	if hierHash(h) == hash {
+		t.Fatal("hierarchy hash unchanged after mutation")
+	}
+	if err := h.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := hierHash(h); got != hash {
+		t.Fatalf("restored hierarchy hash %#x, want %#x", got, hash)
+	}
+
+	// Breaking inclusivity (an L1-resident line removed from the LLC) must
+	// show up in the audit.
+	if !h.CorruptInclusivity() {
+		t.Fatal("CorruptInclusivity found no line to break")
+	}
+	if errs := h.Audit(); len(errs) == 0 {
+		t.Fatal("audit missed the inclusivity break")
+	}
+}
+
+// TestBitPLRUCorruptionCaught: the all-ones MRU state Bit-PLRU can never
+// reach legally must fail the policy audit.
+func TestBitPLRUCorruptionCaught(t *testing.T) {
+	c := MustNew(small(BitPLRU))
+	for i := uint64(0); i < 8; i++ {
+		c.Fill(mem.PAddr(i * 0x40))
+	}
+	if errs := c.Audit(); len(errs) != 0 {
+		t.Fatalf("clean Bit-PLRU fails audit: %v", errs)
+	}
+	if !CorruptBitPLRU(c.PolicyAt(0, 0)) {
+		t.Skip("set 0 policy not Bit-PLRU")
+	}
+	if errs := c.Audit(); len(errs) == 0 {
+		t.Fatal("audit missed the Bit-PLRU corruption")
+	}
+}

@@ -31,6 +31,9 @@ type Flags struct {
 	TraceCap  int
 	Metrics   bool
 	PprofAddr string
+	// AuditEvery is the invariant-audit cadence (Options.AuditEvery):
+	// audit the full machine state every N domain switches, 0 = off.
+	AuditEvery int
 
 	lab *afterimage.Lab
 }
@@ -43,7 +46,16 @@ func Register() *Flags {
 	flag.IntVar(&f.TraceCap, "trace-cap", 0, "trace ring capacity in events (0 = default 256k; oldest events drop when exceeded)")
 	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry registry snapshot after the run")
 	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	flag.IntVar(&f.AuditEvery, "audit", 0, "audit the simulator's structural invariants every N domain switches; a failing audit aborts the experiment with a corruption fault (0 = off)")
 	return f
+}
+
+// LabOptions folds the observability flags that configure the lab itself
+// (currently the audit cadence) into an options value. Mains pass their
+// hand-built Options through this before NewLab.
+func (f *Flags) LabOptions(opts afterimage.Options) afterimage.Options {
+	opts.AuditEvery = f.AuditEvery
+	return opts
 }
 
 // Start launches the pprof server, if requested. Call after flag.Parse.

@@ -1,0 +1,71 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHammingInterleaveRoundTrip drives the covert channel's full forward-
+// error-correction pipeline — Hamming(7,4) encode, burst interleave, 5-bit
+// symbol packing, and all three inverses — over arbitrary payloads and
+// interleave depths. Two properties must hold for every input:
+//
+//  1. A clean channel round-trips the payload exactly, with zero
+//     corrections.
+//  2. Losing one whole 5-bit symbol (a burst of 5 adjacent channel bits)
+//     is correctable whenever the interleaver can spread it across
+//     codewords (depth >= 5 and a block width of at least one codeword).
+func FuzzHammingInterleaveRoundTrip(f *testing.F) {
+	f.Add([]byte("afterimage covert channel payload"), 35, 0)
+	f.Add([]byte{}, 1, 0)
+	f.Add([]byte{0xFF, 0x00, 0xA5}, 2, 1)
+	f.Add([]byte{0x42}, 64, 3)
+	f.Fuzz(func(t *testing.T, data []byte, depth, lostSym int) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		if depth < 0 {
+			depth = -depth
+		}
+		depth = depth%64 + 1
+
+		bits := EncodeBits(data)
+		if len(bits) != 14*len(data) {
+			t.Fatalf("EncodeBits: %d bits for %d bytes, want %d", len(bits), len(data), 14*len(data))
+		}
+		tx := PackSymbols(Interleave(bits, depth))
+
+		// Property 1: clean round trip, no corrections.
+		rx := Deinterleave(UnpackSymbols(tx), depth, len(bits))
+		got, corrections := DecodeBits(rx)
+		if corrections != 0 {
+			t.Fatalf("clean channel applied %d corrections", corrections)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("clean round trip: got %x, want %x (depth %d)", got, data, depth)
+		}
+
+		// Property 2: one lost symbol is a burst of 5 adjacent interleaved
+		// bits; with depth >= 5 they land in 5 distinct rows, and with a
+		// block width >= 7 no two of those rows share a codeword.
+		width := (len(bits) + depth - 1) / depth
+		if len(tx) == 0 || depth < 5 || width < 7 {
+			return
+		}
+		if lostSym < 0 {
+			lostSym = -lostSym
+		}
+		lostSym %= len(tx)
+		dirty := append([]uint8(nil), tx...)
+		dirty[lostSym] = ^dirty[lostSym] & 0x1F // flip all 5 bits
+		rx = Deinterleave(UnpackSymbols(dirty), depth, len(bits))
+		got, corrections = DecodeBits(rx)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("burst of one lost symbol (idx %d, depth %d, width %d) not corrected: got %x, want %x",
+				lostSym, depth, width, got, data)
+		}
+		if corrections > 5 {
+			t.Fatalf("one lost symbol cost %d corrections, want <= 5", corrections)
+		}
+	})
+}

@@ -43,7 +43,33 @@ const (
 	// probe lines from the LLC without disturbing the prefetcher table.
 	CacheThrash
 
-	kindCount = int(CacheThrash) + 1
+	// The corruption classes below model state-machine bugs rather than
+	// contention: each silently breaks a structural invariant that the
+	// machine's auditor (Machine.Audit / the audit cadence) must catch and
+	// convert into a typed corruption fault. They are deliberately NOT part
+	// of AllKinds — adding kinds there would shift every existing seeded
+	// schedule — and are selected explicitly via CorruptionKinds.
+
+	// CorruptStride bit-flips an IP-stride entry's stride field past the
+	// 13-bit |stride| < 2 KiB bound.
+	CorruptStride
+	// CorruptConfidence writes a confidence value the 2-bit counter cannot
+	// hold.
+	CorruptConfidence
+	// CorruptPLRU forces the history table's Bit-PLRU into the forbidden
+	// all-ones state.
+	CorruptPLRU
+	// CorruptInclusivity drops an L1-resident line from the LLC only,
+	// breaking L1 ⊆ LLC inclusion.
+	CorruptInclusivity
+	// CorruptTLB installs a dTLB translation with no page-table backing —
+	// a desynchronised (stale) entry.
+	CorruptTLB
+	// CorruptCrossFrame records an issued prefetch whose target crosses its
+	// trigger's physical page frame, violating §4.3 containment.
+	CorruptCrossFrame
+
+	kindCount = int(CorruptCrossFrame) + 1
 )
 
 // String names the kind (also the flag/CLI spelling, lower-kebab).
@@ -59,19 +85,42 @@ func (k Kind) String() string {
 		return "preemption-storm"
 	case CacheThrash:
 		return "cache-thrash"
+	case CorruptStride:
+		return "corrupt-stride"
+	case CorruptConfidence:
+		return "corrupt-confidence"
+	case CorruptPLRU:
+		return "corrupt-plru"
+	case CorruptInclusivity:
+		return "corrupt-inclusivity"
+	case CorruptTLB:
+		return "corrupt-tlb"
+	case CorruptCrossFrame:
+		return "corrupt-cross-frame"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// AllKinds returns every perturbation class, in Kind order.
+// AllKinds returns every contention-class perturbation, in Kind order. It
+// deliberately excludes the corruption classes: the default kind pool feeds
+// kinds[rng.Intn(len(kinds))], so growing it would silently reshuffle every
+// existing seeded schedule. Corruption faults are opt-in via CorruptionKinds.
 func AllKinds() []Kind {
 	return []Kind{EvictEntry, FlushTable, TLBShootdown, PreemptionStorm, CacheThrash}
 }
 
-// ParseKind inverts Kind.String.
+// CorruptionKinds returns the state-corruption classes, in Kind order.
+func CorruptionKinds() []Kind {
+	return []Kind{CorruptStride, CorruptConfidence, CorruptPLRU, CorruptInclusivity, CorruptTLB, CorruptCrossFrame}
+}
+
+// IsCorruption reports whether k is a state-corruption class.
+func IsCorruption(k Kind) bool { return k >= CorruptStride && k <= CorruptCrossFrame }
+
+// ParseKind inverts Kind.String for every class, contention and corruption.
 func ParseKind(s string) (Kind, error) {
-	for _, k := range AllKinds() {
+	for _, k := range append(AllKinds(), CorruptionKinds()...) {
 		if k.String() == s {
 			return k, nil
 		}
@@ -168,7 +217,7 @@ func (e *Engine) Stats() Stats { return e.stats }
 // so snapshots always match Stats() exactly.
 func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterFunc("faults.injected", func() uint64 { return e.stats.Total })
-	for _, k := range AllKinds() {
+	for _, k := range append(AllKinds(), CorruptionKinds()...) {
 		k := k
 		reg.RegisterFunc("faults."+k.String(), func() uint64 { return e.stats.ByKind[k] })
 	}
@@ -257,5 +306,20 @@ func (e *Engine) apply(m *sim.Machine, ev Event) {
 	case CacheThrash:
 		// A burst of kernel-line touches; no prefetcher-visible IP loads.
 		m.InjectKernelNoise(128+ev.Arg%256, 0)
+	case CorruptStride:
+		stride := m.Cfg.IPStride.MaxStrideBytes + 64 + int64(ev.Arg%1024)
+		m.Pref.IPStride.CorruptStride(ev.Arg, stride)
+	case CorruptConfidence:
+		m.Pref.IPStride.CorruptConfidence(ev.Arg, m.Cfg.IPStride.MaxConfidence+1+ev.Arg%4)
+	case CorruptPLRU:
+		m.Pref.IPStride.CorruptPLRU()
+	case CorruptInclusivity:
+		m.Mem.CorruptInclusivity()
+	case CorruptTLB:
+		// A VPN in the guard region below any mapping base: present in the
+		// TLB, never in a page table.
+		m.TLB.CorruptInsert(m.Kernel.AS.ID, 3+uint64(ev.Arg%1021))
+	case CorruptCrossFrame:
+		m.Pref.IPStride.CorruptCrossFrame()
 	}
 }

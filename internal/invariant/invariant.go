@@ -1,0 +1,65 @@
+// Package invariant is the registry behind Machine.Audit: a named, ordered
+// collection of structural checkers over simulator components. Each checker
+// deep-walks one component's state — prefetcher table bounds, cache
+// inclusivity and replacement-policy consistency, TLB↔page-table coherence,
+// scheduler bookkeeping — and reports every rule it finds violated. The
+// registry imports nothing, so any package can expose an audit without
+// dependency cycles; the machine wires the checkers up at construction.
+package invariant
+
+import "fmt"
+
+// Violation is one broken structural rule, attributed to the component whose
+// checker found it.
+type Violation struct {
+	// Component is the registry name of the checker ("prefetcher.ipstride",
+	// "cache.hierarchy", "tlb", "sched").
+	Component string
+	// Detail describes the violated rule and the offending state.
+	Detail string
+}
+
+// String renders the violation for fault messages and reports.
+func (v Violation) String() string { return v.Component + ": " + v.Detail }
+
+// CheckFunc deep-checks one component and returns every violation found
+// (nil/empty when the component is structurally sound). Checkers must be
+// read-only: an audit never mutates simulated state.
+type CheckFunc func() []Violation
+
+// Registry holds the named checkers in registration order.
+type Registry struct {
+	names  []string
+	checks map[string]CheckFunc
+}
+
+// New builds an empty registry.
+func New() *Registry { return &Registry{checks: make(map[string]CheckFunc)} }
+
+// Register adds (or replaces) the checker for a component name. Order of
+// first registration is preserved by Audit, so violation lists are stable.
+func (r *Registry) Register(name string, check CheckFunc) {
+	if _, ok := r.checks[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.checks[name] = check
+}
+
+// Components lists the registered checker names in registration order.
+func (r *Registry) Components() []string { return append([]string(nil), r.names...) }
+
+// Audit runs every checker in registration order and concatenates the
+// violations.
+func (r *Registry) Audit() []Violation {
+	var out []Violation
+	for _, name := range r.names {
+		out = append(out, r.checks[name]()...)
+	}
+	return out
+}
+
+// Violationf builds a violation with a formatted detail — sugar for checker
+// implementations.
+func Violationf(component, format string, args ...interface{}) Violation {
+	return Violation{Component: component, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import "testing"
+
+// FuzzPageTableWalk checks the address-space page table against its own
+// mapping records for arbitrary mmap lengths, kinds, ASLR seeds and probe
+// addresses:
+//
+//   - every address inside a mapping translates, preserving the page offset
+//     and resolving to the frame the mapping records for that page;
+//   - reclaimable mappings alias a single frame, locked/shared mappings own
+//     distinct frames;
+//   - the guard gap after a mapping never translates;
+//   - MapExisting exposes the same physical frames at a different base.
+func FuzzPageTableWalk(f *testing.F) {
+	f.Add(int64(0), uint64(4096), uint64(0), byte(1))
+	f.Add(int64(7), uint64(1), uint64(123_456), byte(2))
+	f.Add(int64(-3), uint64(1<<20), uint64(1<<40), byte(0))
+	f.Fuzz(func(t *testing.T, aslrSeed int64, length, probe uint64, kindB byte) {
+		length %= 1 << 20 // cap the walk at 1 MiB (256 pages)
+		kind := MapKind(kindB % 3)
+		phys := NewPhysMemory(64 << 20)
+		as := NewAddressSpace("fuzz", phys, aslrSeed)
+
+		m, err := as.Mmap(length, kind)
+		if length == 0 {
+			if err == nil {
+				t.Fatal("zero-length mmap succeeded")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("mmap(%d, %v): %v", length, kind, err)
+		}
+		pages := (length + PageSize - 1) / PageSize
+		if m.Length != pages*PageSize {
+			t.Fatalf("length %d not rounded to pages: %d", length, m.Length)
+		}
+		if got := uint64(len(m.Frames())); got != pages {
+			t.Fatalf("%d frames for %d pages", got, pages)
+		}
+
+		// Walk every page (plus an arbitrary in-page offset derived from the
+		// probe) and check translation against the mapping's frame list.
+		off := probe % PageSize
+		seen := make(map[uint64]bool, pages)
+		for i, frame := range m.Frames() {
+			va := m.Base + VAddr(uint64(i)*PageSize+off)
+			pa, ok := as.Translate(va)
+			if !ok {
+				t.Fatalf("page %d of [%#x,%#x) does not translate", i, m.Base, m.End())
+			}
+			if uint64(pa)&(PageSize-1) != off {
+				t.Fatalf("page offset not preserved: va %#x -> pa %#x", va, pa)
+			}
+			if pa.Frame() != frame {
+				t.Fatalf("page %d: translated frame %d, mapping records %d", i, pa.Frame(), frame)
+			}
+			seen[frame] = true
+		}
+		switch kind {
+		case MapReclaimable:
+			if len(seen) != 1 {
+				t.Fatalf("reclaimable mapping uses %d distinct frames, want 1", len(seen))
+			}
+		default:
+			if uint64(len(seen)) != pages {
+				t.Fatalf("%v mapping reuses frames: %d distinct for %d pages", kind, len(seen), pages)
+			}
+		}
+
+		// The guard gap past the mapping and the page below it are unmapped.
+		if _, ok := as.Translate(m.End()); ok {
+			t.Fatalf("guard page at %#x translates", m.End())
+		}
+		if _, ok := as.Translate(m.Base - 1); ok {
+			t.Fatalf("address below base (%#x) translates", m.Base-1)
+		}
+
+		// A second address space importing the mapping shares its frames.
+		as2 := NewAddressSpace("fuzz-peer", phys, aslrSeed)
+		dup := as2.MapExisting(m)
+		for i := range dup.Frames() {
+			pa1, ok1 := as.Translate(m.Base + VAddr(uint64(i)*PageSize))
+			pa2, ok2 := as2.Translate(dup.Base + VAddr(uint64(i)*PageSize))
+			if !ok1 || !ok2 || pa1 != pa2 {
+				t.Fatalf("shared page %d diverges: %#x (%v) vs %#x (%v)", i, pa1, ok1, pa2, ok2)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package prefetcher
+
+import (
+	"fmt"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+	"afterimage/internal/statehash"
+)
+
+// Audit deep-checks the history table against the structural rules of
+// Algorithm 1: confidence within the saturating-counter range, |stride|
+// strictly inside the 13-bit field, tags within the IndexBits mask, no two
+// valid entries sharing a lookup key, the replacement policy internally
+// consistent, and the most recent issued prefetch contained in its trigger's
+// physical frame (§4.3). It returns every broken rule.
+func (p *IPStride) Audit() []error {
+	var errs []error
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.Valid {
+			continue
+		}
+		if e.Confidence < 0 || e.Confidence > p.cfg.MaxConfidence {
+			errs = append(errs, fmt.Errorf("ipstride: slot %d confidence %d outside [0,%d]", i, e.Confidence, p.cfg.MaxConfidence))
+		}
+		if e.Stride <= -p.cfg.MaxStrideBytes || e.Stride >= p.cfg.MaxStrideBytes {
+			errs = append(errs, fmt.Errorf("ipstride: slot %d stride %d outside (-%d,%d)", i, e.Stride, p.cfg.MaxStrideBytes, p.cfg.MaxStrideBytes))
+		}
+		if e.Tag&^p.mask != 0 {
+			errs = append(errs, fmt.Errorf("ipstride: slot %d tag %#x exceeds %d index bits", i, e.Tag, p.cfg.IndexBits))
+		}
+		for j := i + 1; j < len(p.entries); j++ {
+			o := &p.entries[j]
+			if !o.Valid || o.Tag != e.Tag {
+				continue
+			}
+			if p.cfg.FullIPTag && o.FullIP != e.FullIP {
+				continue
+			}
+			if p.cfg.PIDTag && o.PID != e.PID {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("ipstride: slots %d and %d share lookup key (tag %#x)", i, j, e.Tag))
+		}
+	}
+	if err := p.policy.Audit(); err != nil {
+		errs = append(errs, fmt.Errorf("ipstride: policy: %w", err))
+	}
+	if p.lastIssue.valid && p.lastIssue.base.Frame() != p.lastIssue.target.Frame() {
+		errs = append(errs, fmt.Errorf("ipstride: issued prefetch %#x crosses frame of trigger %#x", uint64(p.lastIssue.target), uint64(p.lastIssue.base)))
+	}
+	return errs
+}
+
+// CorruptStride overwrites slot i's stride with an out-of-range value, as a
+// bit flip in the stride field's sign-extension logic would. An invalid slot
+// is fabricated first so the corruption always lands.
+func (p *IPStride) CorruptStride(i int, stride int64) {
+	i = p.forceValid(i)
+	p.entries[i].Stride = stride
+}
+
+// CorruptConfidence overwrites slot i's confidence counter with a value the
+// 2-bit field cannot hold.
+func (p *IPStride) CorruptConfidence(i int, conf int) {
+	i = p.forceValid(i)
+	p.entries[i].Confidence = conf
+}
+
+// CorruptPLRU forces the history table's Bit-PLRU into the forbidden
+// all-ones state. It reports false when the table uses another policy.
+func (p *IPStride) CorruptPLRU() bool { return cache.CorruptBitPLRU(p.policy) }
+
+// CorruptCrossFrame poisons the issued-prefetch record with a target in the
+// frame after its trigger — the §4.3 containment violation.
+func (p *IPStride) CorruptCrossFrame() {
+	base := mem.PAddr(mem.PageSize * 40)
+	p.lastIssue.base = base
+	p.lastIssue.target = base + mem.PAddr(mem.PageSize)
+	p.lastIssue.valid = true
+}
+
+// forceValid ensures slot i (mod table size) holds a valid entry, fabricating
+// a plausible one when necessary, and returns the slot index.
+func (p *IPStride) forceValid(i int) int {
+	if len(p.entries) == 0 {
+		panic("ipstride: empty table")
+	}
+	i %= len(p.entries)
+	if i < 0 {
+		i += len(p.entries)
+	}
+	if !p.entries[i].Valid {
+		ip := uint64(0x400000 + i)
+		p.entries[i] = Entry{Tag: p.tagOf(ip), FullIP: ip, LastAddr: mem.PAddr(mem.PageSize * 32), Valid: true}
+	}
+	return i
+}
+
+// IPStrideSnapshot captures the prefetcher's complete state: table, policy,
+// issue record and counters.
+type IPStrideSnapshot struct {
+	Entries   []Entry
+	Policy    []uint64
+	LastBase  mem.PAddr
+	LastTgt   mem.PAddr
+	LastValid bool
+	Stats     Stats
+}
+
+// Snapshot captures the IP-stride prefetcher's state.
+func (p *IPStride) Snapshot() IPStrideSnapshot {
+	return IPStrideSnapshot{
+		Entries:   append([]Entry(nil), p.entries...),
+		Policy:    p.policy.Save(),
+		LastBase:  p.lastIssue.base,
+		LastTgt:   p.lastIssue.target,
+		LastValid: p.lastIssue.valid,
+		Stats:     p.stats,
+	}
+}
+
+// Restore adopts a snapshot from a prefetcher with the same table size.
+func (p *IPStride) Restore(snap IPStrideSnapshot) error {
+	if len(snap.Entries) != len(p.entries) {
+		return fmt.Errorf("ipstride: snapshot has %d entries, table has %d", len(snap.Entries), len(p.entries))
+	}
+	copy(p.entries, snap.Entries)
+	p.policy.Load(snap.Policy)
+	p.lastIssue.base, p.lastIssue.target, p.lastIssue.valid = snap.LastBase, snap.LastTgt, snap.LastValid
+	p.stats = snap.Stats
+	return nil
+}
+
+// StateHash folds the prefetcher's complete state into a stable digest.
+func (p *IPStride) StateHash() uint64 {
+	h := statehash.New()
+	for i := range p.entries {
+		e := &p.entries[i]
+		h.Bool(e.Valid)
+		if e.Valid {
+			h.U64(e.Tag).U64(e.FullIP).Int(e.PID).U64(uint64(e.LastAddr)).I64(e.Stride).Int(e.Confidence)
+		}
+	}
+	h.U64s(p.policy.Save())
+	h.Bool(p.lastIssue.valid).U64(uint64(p.lastIssue.base)).U64(uint64(p.lastIssue.target))
+	h.U64(p.stats.Lookups).U64(p.stats.Trains).U64(p.stats.Allocs).U64(p.stats.Evictions)
+	h.U64(p.stats.Prefetches).U64(p.stats.PageDrops).U64(p.stats.Relearns).U64(p.stats.TLBSkips).U64(p.stats.Flushes)
+	return h.Sum()
+}
+
+// DCUSnapshot, DPLSnapshot and StreamerSnapshot capture the noise
+// prefetchers' small detector states.
+type DCUSnapshot struct {
+	Enabled  bool
+	LastLine uint64
+	Seen     bool
+	Stats    uint64
+}
+
+type DPLSnapshot struct {
+	Enabled  bool
+	LastMiss uint64
+	Seen     bool
+	Stats    uint64
+}
+
+type StreamerSnapshot struct {
+	Enabled bool
+	Degree  int
+	Table   []streamEntry
+	Stats   uint64
+}
+
+// SuiteSnapshot captures all four prefetchers of a core.
+type SuiteSnapshot struct {
+	IPStride IPStrideSnapshot
+	DCU      DCUSnapshot
+	DPL      DPLSnapshot
+	Streamer StreamerSnapshot
+}
+
+// Snapshot captures the full suite state.
+func (s *Suite) Snapshot() SuiteSnapshot {
+	return SuiteSnapshot{
+		IPStride: s.IPStride.Snapshot(),
+		DCU:      DCUSnapshot{Enabled: s.DCU.Enabled, LastLine: s.DCU.lastLine, Seen: s.DCU.seen, Stats: s.DCU.stats},
+		DPL:      DPLSnapshot{Enabled: s.DPL.Enabled, LastMiss: s.DPL.lastMiss, Seen: s.DPL.seen, Stats: s.DPL.stats},
+		Streamer: StreamerSnapshot{
+			Enabled: s.Streamer.Enabled,
+			Degree:  s.Streamer.Degree,
+			Table:   append([]streamEntry(nil), s.Streamer.table...),
+			Stats:   s.Streamer.stats,
+		},
+	}
+}
+
+// Restore adopts a suite snapshot.
+func (s *Suite) Restore(snap SuiteSnapshot) error {
+	if err := s.IPStride.Restore(snap.IPStride); err != nil {
+		return err
+	}
+	s.DCU.Enabled, s.DCU.lastLine, s.DCU.seen, s.DCU.stats = snap.DCU.Enabled, snap.DCU.LastLine, snap.DCU.Seen, snap.DCU.Stats
+	s.DPL.Enabled, s.DPL.lastMiss, s.DPL.seen, s.DPL.stats = snap.DPL.Enabled, snap.DPL.LastMiss, snap.DPL.Seen, snap.DPL.Stats
+	if len(snap.Streamer.Table) != len(s.Streamer.table) {
+		return fmt.Errorf("streamer: snapshot has %d entries, table has %d", len(snap.Streamer.Table), len(s.Streamer.table))
+	}
+	s.Streamer.Enabled, s.Streamer.Degree, s.Streamer.stats = snap.Streamer.Enabled, snap.Streamer.Degree, snap.Streamer.Stats
+	copy(s.Streamer.table, snap.Streamer.Table)
+	return nil
+}
+
+// StateHash folds the full suite state into one digest.
+func (s *Suite) StateHash() uint64 {
+	h := statehash.New()
+	h.Combine(s.IPStride.StateHash())
+	h.Bool(s.DCU.Enabled).U64(s.DCU.lastLine).Bool(s.DCU.seen).U64(s.DCU.stats)
+	h.Bool(s.DPL.Enabled).U64(s.DPL.lastMiss).Bool(s.DPL.seen).U64(s.DPL.stats)
+	h.Bool(s.Streamer.Enabled).Int(s.Streamer.Degree).U64(s.Streamer.stats)
+	for _, e := range s.Streamer.table {
+		h.Bool(e.valid)
+		if e.valid {
+			h.U64(e.frame).U64(e.lastLine).Int(e.dir)
+		}
+	}
+	return h.Sum()
+}
+
+// Audit deep-checks the suite (only the IP-stride table has structural
+// invariants; the noise detectors hold arbitrary stream state).
+func (s *Suite) Audit() []error { return s.IPStride.Audit() }

@@ -94,6 +94,15 @@ type IPStride struct {
 	// alive and may trigger immediately (§4.3, Table 1 row 1).
 	NextPage bool
 
+	// lastIssue records the most recent prefetch decision so the auditor can
+	// re-check §4.3 target containment after the fact: an issued target must
+	// share its trigger's physical frame.
+	lastIssue struct {
+		base   mem.PAddr
+		target mem.PAddr
+		valid  bool
+	}
+
 	stats Stats
 	tel   *telemetry.Hub // nil unless SetTelemetry; emits are trace-guarded
 }
@@ -357,6 +366,7 @@ func (p *IPStride) issue(base mem.PAddr, stride int64, reqs []Request) []Request
 		return reqs
 	}
 	p.stats.Prefetches++
+	p.lastIssue.base, p.lastIssue.target, p.lastIssue.valid = base, target, true
 	if p.tel.TraceEnabled() {
 		p.tel.Emit(telemetry.Event{Kind: telemetry.EvPrefetchIssue, Arg1: uint64(target), Label: "ip-stride"})
 	}

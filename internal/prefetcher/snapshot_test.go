@@ -1,0 +1,113 @@
+package prefetcher
+
+import "testing"
+
+// trainSome walks three distinct IPs far enough to allocate, confirm and
+// fire their entries, leaving a populated table, live Bit-PLRU state and a
+// recorded last issue.
+func trainSome(p *IPStride) {
+	feed(p, 0x400100, 0x10000, 0x10000+7*line, 0x10000+14*line, 0x10000+21*line)
+	feed(p, 0x400200, 0x20000, 0x20000+3*line, 0x20000+6*line)
+	feed(p, 0x400300, 0x30000, 0x30000+5*line)
+}
+
+func TestIPStrideSnapshotRoundTrip(t *testing.T) {
+	p := newDefault()
+	trainSome(p)
+	if errs := p.Audit(); len(errs) != 0 {
+		t.Fatalf("trained table fails audit: %v", errs)
+	}
+	snap := p.Snapshot()
+	h := p.StateHash()
+
+	// Diverge, then restore: the hash must return to the snapshot's value.
+	feed(p, 0x400400, 0x40000, 0x40000+9*line, 0x40000+18*line)
+	p.Flush()
+	if p.StateHash() == h {
+		t.Fatal("state hash did not change after mutation")
+	}
+	if err := p.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := p.StateHash(); got != h {
+		t.Fatalf("restored hash %#x, want %#x", got, h)
+	}
+	if errs := p.Audit(); len(errs) != 0 {
+		t.Fatalf("restored table fails audit: %v", errs)
+	}
+
+	// The restored table must behave identically, not just hash equally:
+	// the same next access issues the same requests on both copies.
+	q := newDefault()
+	trainSome(q)
+	want := q.OnLoad(acc(0x400100, 0x10000+28*line))
+	got := p.OnLoad(acc(0x400100, 0x10000+28*line))
+	if len(want) != len(got) {
+		t.Fatalf("restored table diverges: %d reqs vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored table req %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIPStrideRestoreRejectsGeometryMismatch(t *testing.T) {
+	p := newDefault()
+	snap := p.Snapshot()
+	snap.Entries = snap.Entries[:len(snap.Entries)-1]
+	if err := p.Restore(snap); err == nil {
+		t.Fatal("restore accepted a snapshot with the wrong entry count")
+	}
+}
+
+func TestSuiteSnapshotRoundTrip(t *testing.T) {
+	s := NewSuite()
+	s.DCU.Enabled, s.DPL.Enabled, s.Streamer.Enabled = true, true, true
+	for i := uint64(0); i < 24; i++ {
+		s.OnLoad(acc(0x400500+i%3, 0x50000+i*line))
+	}
+	snap := s.Snapshot()
+	h := s.StateHash()
+	for i := uint64(0); i < 8; i++ {
+		s.OnLoad(acc(0x400600, 0x60000+i*2*line))
+	}
+	if s.StateHash() == h {
+		t.Fatal("suite hash did not change after mutation")
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := s.StateHash(); got != h {
+		t.Fatalf("restored suite hash %#x, want %#x", got, h)
+	}
+}
+
+func TestIPStrideAuditCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *IPStride)
+	}{
+		{"stride-overflow", func(p *IPStride) { p.CorruptStride(0, p.cfg.MaxStrideBytes+64) }},
+		{"confidence-out-of-range", func(p *IPStride) { p.CorruptConfidence(1, p.cfg.MaxConfidence+3) }},
+		{"plru-all-ones", func(p *IPStride) {
+			if !p.CorruptPLRU() {
+				t.Skip("policy not Bit-PLRU")
+			}
+		}},
+		{"cross-frame-issue", func(p *IPStride) { p.CorruptCrossFrame() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newDefault()
+			trainSome(p)
+			if errs := p.Audit(); len(errs) != 0 {
+				t.Fatalf("pre-corruption audit dirty: %v", errs)
+			}
+			tc.corrupt(p)
+			if errs := p.Audit(); len(errs) == 0 {
+				t.Fatal("audit missed the corruption")
+			}
+		})
+	}
+}

@@ -113,6 +113,30 @@ func Fingerprint(v any) string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// ReadCheckpoint loads the completed-job map from the checkpoint at path,
+// validating the schema and (when non-empty) the campaign fingerprint — the
+// replay harness's entry point into a campaign's persisted results.
+func ReadCheckpoint(path, fingerprint string) (map[string]JobResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("runner: parse checkpoint %s: %w", path, err)
+	}
+	if f.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("runner: checkpoint %s has schema %q, want %q", path, f.Schema, CheckpointSchema)
+	}
+	if fingerprint != "" && f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("runner: checkpoint %s belongs to campaign %s, want %s", path, f.Fingerprint, fingerprint)
+	}
+	if f.Completed == nil {
+		f.Completed = make(map[string]JobResult)
+	}
+	return f.Completed, nil
+}
+
 // CompletedKeys lists the keys recorded in the checkpoint at path, sorted —
 // a debugging/inspection helper for binaries and tests.
 func CompletedKeys(path string) ([]string, error) {

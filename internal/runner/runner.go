@@ -153,6 +153,10 @@ type JobResult struct {
 	// FaultKind is the machine-readable sim.FaultKind spelling behind Err,
 	// when the failure was a typed simulator fault.
 	FaultKind string `json:"fault_kind,omitempty"`
+	// FaultHistory records the FaultKind of every failing attempt, in order
+	// — kept even when a later attempt succeeds, so quarantine logic can see
+	// that a point needed a re-run after (say) a corruption fault.
+	FaultHistory []string `json:"fault_history,omitempty"`
 	// Degraded marks a job whose failure was permanent or whose retry
 	// budget ran out; the campaign continued without it.
 	Degraded bool `json:"degraded,omitempty"`
@@ -352,6 +356,9 @@ func runJob(ctx context.Context, job Job, o Options, c counters) JobResult {
 		r.FaultKind = ""
 		if f, ok := sim.AsFault(err); ok {
 			r.FaultKind = f.Kind.String()
+		}
+		if r.FaultKind != "" {
+			r.FaultHistory = append(r.FaultHistory, r.FaultKind)
 		}
 		class := o.Classify(err)
 		if timedOut {

@@ -29,6 +29,11 @@ const (
 	FaultAPIMisuse
 	// FaultOOM is physical-frame exhaustion on mmap.
 	FaultOOM
+	// FaultCorruption is an invariant-audit failure: a structural rule of
+	// the microarchitectural state (stride bounds, PLRU consistency, cache
+	// inclusivity, TLB↔page-table coherence) was found violated, typically
+	// by an injected corruption fault. The Msg lists every violation.
+	FaultCorruption
 )
 
 // String names the fault kind.
@@ -46,6 +51,8 @@ func (k FaultKind) String() string {
 		return "api-misuse"
 	case FaultOOM:
 		return "oom"
+	case FaultCorruption:
+		return "corruption"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}

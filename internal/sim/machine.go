@@ -5,6 +5,8 @@ import (
 	"math/rand"
 
 	"afterimage/internal/cache"
+	"afterimage/internal/detrand"
+	"afterimage/internal/invariant"
 	"afterimage/internal/mem"
 	"afterimage/internal/prefetcher"
 	"afterimage/internal/telemetry"
@@ -66,9 +68,13 @@ type Machine struct {
 	procs    []*Process
 	syscalls map[int]SyscallHandler
 
-	jitter *rand.Rand
-	noise  *rand.Rand
-	smtOps int
+	// jitter/noise are counting-source RNGs so their positions snapshot
+	// (detrand is stream-identical to the plain sources they replaced).
+	jitter    *rand.Rand
+	noise     *rand.Rand
+	jitterSrc *detrand.Source
+	noiseSrc  *detrand.Source
+	smtOps    int
 
 	// noiseRegion backs the kernel lines touched on context switches.
 	noiseRegion *mem.Mapping
@@ -98,6 +104,26 @@ type Machine struct {
 	// component's counters, the (off-by-default) event bus, and phase spans.
 	tel     *telemetry.Hub
 	latHist *telemetry.Histogram // demand-load latency distribution
+
+	// inv is the invariant registry behind Audit; built at construction.
+	inv *invariant.Registry
+
+	// auditEvery enables the audit cadence: a full Audit every N domain
+	// switches (0 = disabled). sinceAudit counts switches since the last one.
+	auditEvery     int
+	sinceAudit     int
+	auditRuns      uint64
+	auditViolation uint64
+
+	// lastViolations holds the violations of the most recent failing audit,
+	// for diagnosis after the fault surfaces.
+	lastViolations []invariant.Violation
+
+	// pendingFault carries an audit fault raised on the scheduler's run-loop
+	// goroutine (inside domainSwitch) to a task goroutine: checkBudget
+	// throws it at the next Env operation, so it routes through the normal
+	// task-fault recovery instead of unwinding the scheduler loop itself.
+	pendingFault *SimFault
 
 	// Counters.
 	domainSwitches uint64
@@ -150,9 +176,9 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 		Pref:     suite,
 		Phys:     mem.NewPhysMemory(cfg.PhysMem),
 		syscalls: make(map[int]SyscallHandler),
-		jitter:   rand.New(rand.NewSource(cfg.Seed + 7)),
-		noise:    rand.New(rand.NewSource(cfg.Seed + 13)),
 	}
+	m.jitter, m.jitterSrc = detrand.New(cfg.Seed + 7)
+	m.noise, m.noiseSrc = detrand.New(cfg.Seed + 13)
 	m.budgetLimit = cfg.MaxCycles
 	m.Kernel = &Process{PID: KernelPID, Name: "kernel",
 		AS: mem.NewAddressSpace("kernel", m.Phys, kaslrSeed(cfg))}
@@ -172,6 +198,9 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 	m.Pref.SetTelemetry(m.tel)
 	reg.RegisterFunc("sched.switches", func() uint64 { return m.domainSwitches })
 	reg.RegisterFunc("sched.syscalls", func() uint64 { return m.syscallCount })
+	reg.RegisterFunc("audit.runs", func() uint64 { return m.auditRuns })
+	reg.RegisterFunc("audit.violations", func() uint64 { return m.auditViolation })
+	m.inv = m.buildInvariants()
 	// Bucket bounds straddle the configured level latencies and the hit/miss
 	// threshold, so the histogram separates L1/L2/LLC/DRAM populations.
 	m.latHist = reg.Histogram("mem.load.latency", []uint64{
@@ -239,6 +268,14 @@ func (m *Machine) advance(cycles uint64) {
 // surfaces as a typed *SimFault, so runaway and never-yielding tasks
 // terminate deterministically.
 func (m *Machine) checkBudget(e *Env) {
+	if m.pendingFault != nil {
+		f := m.pendingFault
+		m.pendingFault = nil
+		if f.Task == "" && e.task != nil {
+			f.Task = e.task.name
+		}
+		panic(f)
+	}
 	if m.budgetLimit != 0 && m.clock > m.budgetLimit {
 		f := &SimFault{
 			Kind: FaultBudget, Domain: e.domain, Cycle: m.clock, IP: e.lastIP,
@@ -354,6 +391,26 @@ func (m *Machine) domainSwitch(sameProcess bool) {
 	if m.Cfg.FlushPrefetcherOnSwitch {
 		m.Pref.IPStride.Flush()
 		m.advance(uint64(m.Cfg.IPStride.Entries)) // one cycle per cleared entry (§8.3)
+	}
+	if m.auditEvery > 0 {
+		if m.sinceAudit++; m.sinceAudit >= m.auditEvery {
+			m.sinceAudit = 0
+			m.auditCadence()
+		}
+	}
+}
+
+// auditCadence runs a full audit from the domain-switch hook. The check is
+// read-only (no clock advance, no RNG draws), so enabling the cadence never
+// changes a clean run's results or state hashes. A failing audit cannot
+// panic here — domainSwitch executes on the scheduler's run-loop goroutine —
+// so the fault is parked in pendingFault for the next Env operation (or the
+// end-of-run drain) to throw on a recoverable boundary.
+func (m *Machine) auditCadence() {
+	if err := m.Audit(); err != nil && m.pendingFault == nil {
+		if f, ok := err.(*SimFault); ok {
+			m.pendingFault = f
+		}
 	}
 }
 

@@ -161,14 +161,24 @@ func (s *scheduler) run() (uint64, error) {
 		if next == nil {
 			break // all done
 		}
+		// Commit the handoff before paying the switch cost: a cadence
+		// audit fired by domainSwitch must observe the incoming task as
+		// current, not the one that just yielded or finished.
+		s.current = next
 		if next != ev.from || ev.done {
 			s.switchTo(ev.from, next)
 		}
-		s.current = next
 		next.resume <- struct{}{}
 	}
 	s.running = false
 	s.tasks = nil
+	// A cadence audit that fired on the run's final domain switch has no
+	// later Env operation to throw through; drain it here so the fault
+	// still surfaces as this run's error.
+	if f := s.m.pendingFault; f != nil {
+		s.m.pendingFault = nil
+		s.faults = append(s.faults, f)
+	}
 	var err error
 	if len(s.faults) > 0 {
 		err = s.faults[0]

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+// warmMachine boots a noisy Coffee Lake machine and runs a small direct-env
+// workload that populates every audited component: cache lines at all
+// levels, TLB entries, and a trained (and fired) IP-stride entry.
+func warmMachine(t *testing.T) (*Machine, *Env, *mem.Mapping) {
+	t.Helper()
+	m := NewMachine(CoffeeLake(1))
+	env := m.Direct(m.NewProcess("attacker"))
+	buf := env.Mmap(4*mem.PageSize, mem.MapLocked)
+	for i := 0; i < 3; i++ {
+		env.Load(0x40_0100, buf.Base+mem.VAddr(i*7*mem.LineSize))
+	}
+	for i := 0; i < 8; i++ {
+		env.Load(0x40_0200+uint64(i), buf.Base+mem.VAddr(2*mem.PageSize+i*mem.LineSize))
+	}
+	return m, env, buf
+}
+
+func TestAuditCleanMachine(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	if err := m.Audit(); err != nil {
+		t.Fatalf("clean machine fails audit: %v", err)
+	}
+	if v := m.AuditViolations(); len(v) != 0 {
+		t.Fatalf("clean audit left recorded violations: %v", v)
+	}
+	if comps := m.AuditComponents(); len(comps) < 4 {
+		t.Fatalf("registry has %d checkers, want >= 4 (%v)", len(comps), comps)
+	}
+}
+
+// TestAuditCatchesCorruptionClasses: every corruption class the fault
+// engine can inject — plus the TLB desync — is caught by Machine.Audit as a
+// typed FaultCorruption SimFault naming the broken component.
+func TestAuditCatchesCorruptionClasses(t *testing.T) {
+	cases := []struct {
+		name      string
+		corrupt   func(t *testing.T, m *Machine)
+		component string
+	}{
+		{"stride-overflow", func(t *testing.T, m *Machine) {
+			m.Pref.IPStride.CorruptStride(0, m.Cfg.IPStride.MaxStrideBytes+512)
+		}, "prefetcher"},
+		{"confidence-out-of-range", func(t *testing.T, m *Machine) {
+			m.Pref.IPStride.CorruptConfidence(1, m.Cfg.IPStride.MaxConfidence+2)
+		}, "prefetcher"},
+		{"plru-all-ones", func(t *testing.T, m *Machine) {
+			if !m.Pref.IPStride.CorruptPLRU() {
+				t.Skip("prefetcher policy not Bit-PLRU")
+			}
+		}, "prefetcher"},
+		{"cross-frame-prefetch", func(t *testing.T, m *Machine) {
+			m.Pref.IPStride.CorruptCrossFrame()
+		}, "prefetcher"},
+		{"inclusivity-break", func(t *testing.T, m *Machine) {
+			if !m.Mem.CorruptInclusivity() {
+				t.Fatal("no L1 line to corrupt")
+			}
+		}, "cache"},
+		{"tlb-desync", func(t *testing.T, m *Machine) {
+			m.TLB.CorruptInsert(m.Kernel.AS.ID, 0x3) // VPN no space ever maps
+		}, "tlb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _, _ := warmMachine(t)
+			if err := m.Audit(); err != nil {
+				t.Fatalf("pre-corruption audit dirty: %v", err)
+			}
+			tc.corrupt(t, m)
+			err := m.Audit()
+			if err == nil {
+				t.Fatal("audit missed the corruption")
+			}
+			f, ok := AsFault(err)
+			if !ok {
+				t.Fatalf("audit error not a SimFault: %v", err)
+			}
+			if f.Kind != FaultCorruption {
+				t.Fatalf("fault kind %v, want corruption", f.Kind)
+			}
+			if !strings.Contains(err.Error(), tc.component) {
+				t.Errorf("fault %q does not name component %q", err, tc.component)
+			}
+		})
+	}
+}
+
+// TestAuditCadenceThrowsOnTaskGoroutine: with AuditEvery=1, state corrupted
+// mid-run is detected at the next domain switch and the fault surfaces
+// through RunChecked — on the task, not the scheduler goroutine.
+func TestAuditCadenceThrowsOnTaskGoroutine(t *testing.T) {
+	m := NewMachine(Quiet(CoffeeLake(1)))
+	m.SetAuditEvery(1)
+	p := m.NewProcess("p")
+	buf := m.Direct(p).Mmap(mem.PageSize, mem.MapLocked)
+	m.Spawn(p, "corruptor", func(e *Env) {
+		e.Load(0x100, buf.Base)
+		m.Pref.IPStride.CorruptStride(0, m.Cfg.IPStride.MaxStrideBytes+512)
+		for i := 0; i < 50; i++ {
+			e.Yield()
+			e.Load(0x101, buf.Base+mem.VAddr(i%8*mem.LineSize))
+		}
+	})
+	m.Spawn(p, "bystander", func(e *Env) {
+		for i := 0; i < 50; i++ {
+			e.Yield()
+		}
+	})
+	_, err := m.RunChecked()
+	if err == nil {
+		t.Fatal("cadence audit did not surface the corruption")
+	}
+	f, ok := AsFault(err)
+	if !ok || f.Kind != FaultCorruption {
+		t.Fatalf("got %v, want a corruption SimFault", err)
+	}
+}
+
+// TestAuditCadenceIsReadOnly: a clean run with the cadence enabled ends in
+// exactly the state a cadence-free run reaches — audits never perturb.
+func TestAuditCadenceIsReadOnly(t *testing.T) {
+	run := func(every int) uint64 {
+		m := NewMachine(CoffeeLake(7))
+		m.SetAuditEvery(every)
+		p := m.NewProcess("p")
+		buf := m.Direct(p).Mmap(mem.PageSize, mem.MapLocked)
+		for task := 0; task < 2; task++ {
+			task := task
+			m.Spawn(p, "t", func(e *Env) {
+				for i := 0; i < 30; i++ {
+					e.Load(0x200+uint64(task), buf.Base+mem.VAddr(i%16*mem.LineSize))
+					e.Yield()
+				}
+			})
+		}
+		m.Run()
+		return m.StateHash()
+	}
+	if off, on := run(0), run(1); off != on {
+		t.Fatalf("cadence changed the final state: %#x (off) vs %#x (every=1)", off, on)
+	}
+}
+
+func TestMachineSnapshotRoundTrip(t *testing.T) {
+	m, env, buf := warmMachine(t)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	h := m.StateHash()
+
+	// Diverge — no Mmap here: address spaces and physical frames are not
+	// part of a machine snapshot, only re-derivable microarchitectural and
+	// clock state is.
+	w2 := func() {
+		for i := 0; i < 12; i++ {
+			env.Load(0x40_0300, buf.Base+mem.VAddr(3*mem.PageSize+i%5*3*mem.LineSize))
+		}
+	}
+	w2()
+	h2 := m.StateHash()
+	if h2 == h {
+		t.Fatal("hash unchanged after extra workload")
+	}
+
+	if err := m.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := m.StateHash(); got != h {
+		t.Fatalf("restored hash %#x, want %#x", got, h)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatalf("restored machine fails audit: %v", err)
+	}
+
+	// Replaying the same continuation from the restored state reproduces
+	// the diverged hash exactly — the property the replay harness rests on.
+	w2()
+	if got := m.StateHash(); got != h2 {
+		t.Fatalf("replayed continuation hash %#x, want %#x", got, h2)
+	}
+}
+
+// TestStateHashComparableAcrossMachines: two machines with the same seed
+// and workload hash identically even though their raw ASIDs differ (the
+// process-global allocator keeps counting) — the normalization contract.
+func TestStateHashComparableAcrossMachines(t *testing.T) {
+	build := func() *Machine {
+		m, _, _ := warmMachine(t)
+		return m
+	}
+	a, b := build(), build()
+	if a.Kernel.AS.ID == b.Kernel.AS.ID {
+		t.Fatal("test broken: both machines share raw ASIDs")
+	}
+	ha, hb := a.ComponentHashes(), b.ComponentHashes()
+	for name, va := range ha {
+		if vb, ok := hb[name]; !ok || va != vb {
+			t.Errorf("component %s: %#x vs %#x", name, va, vb)
+		}
+	}
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("machine hashes differ for identical seed and workload")
+	}
+}
+
+func TestSnapshotRefusedWhileRunning(t *testing.T) {
+	m := NewMachine(Quiet(CoffeeLake(1)))
+	p := m.NewProcess("p")
+	var snapErr, restoreErr error
+	m.Spawn(p, "t", func(e *Env) {
+		_, snapErr = m.Snapshot()
+		restoreErr = m.Restore(&MachineSnapshot{})
+	})
+	m.Run()
+	for _, err := range []error{snapErr, restoreErr} {
+		f, ok := AsFault(err)
+		if !ok || f.Kind != FaultAPIMisuse {
+			t.Fatalf("snapshot/restore while running: got %v, want api-misuse fault", err)
+		}
+	}
+}
+
+// TestStateHashGolden pins the full-state digest of a fixed seed and
+// workload. A change here without an intentional simulator change is a
+// determinism regression; an intentional change must update the constant
+// (and invalidates recorded replay checkpoints).
+func TestStateHashGolden(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	const golden = uint64(0x0836d89918c4a044)
+	got := m.StateHash()
+	if got != golden {
+		t.Fatalf("state hash %#x, want golden %#x", got, golden)
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/prefetcher"
+	"afterimage/internal/statehash"
+	"afterimage/internal/tlb"
+)
+
+// MachineSnapshot is a deterministic full-state capture of one machine:
+// every microarchitectural component plus the clock, counters and RNG
+// positions. Restoring it onto the machine it was taken from (or an
+// identically configured one mid-equivalent run) reproduces the exact
+// simulated state, hash-identically.
+type MachineSnapshot struct {
+	Clock          uint64
+	DomainSwitches uint64
+	SyscallCount   uint64
+	SMTOps         int
+	SinceAudit     int
+	JitterDraws    uint64
+	NoiseDraws     uint64
+
+	Cache cache.HierarchySnapshot
+	TLB   tlb.TLBSnapshot
+	Pref  prefetcher.SuiteSnapshot
+}
+
+// Snapshot captures the machine's complete state. It refuses to run while
+// the scheduler is mid-run: parked task goroutines hold unserialisable
+// execution state, so a snapshot there could never restore faithfully.
+func (m *Machine) Snapshot() (*MachineSnapshot, error) {
+	if m.sched.running {
+		return nil, &SimFault{
+			Kind: FaultAPIMisuse, Domain: DomainUser, Cycle: m.clock,
+			Msg: "Snapshot during an active scheduler run",
+		}
+	}
+	return &MachineSnapshot{
+		Clock:          m.clock,
+		DomainSwitches: m.domainSwitches,
+		SyscallCount:   m.syscallCount,
+		SMTOps:         m.smtOps,
+		SinceAudit:     m.sinceAudit,
+		JitterDraws:    m.jitterSrc.Draws(),
+		NoiseDraws:     m.noiseSrc.Draws(),
+		Cache:          m.Mem.Snapshot(),
+		TLB:            m.TLB.Snapshot(),
+		Pref:           m.Pref.Snapshot(),
+	}, nil
+}
+
+// Restore adopts a snapshot previously taken from this machine (or one with
+// identical configuration). State is adopted verbatim — a snapshot of a
+// corrupted machine restores corrupted, and Audit still flags it.
+func (m *Machine) Restore(snap *MachineSnapshot) error {
+	if m.sched.running {
+		return &SimFault{
+			Kind: FaultAPIMisuse, Domain: DomainUser, Cycle: m.clock,
+			Msg: "Restore during an active scheduler run",
+		}
+	}
+	if snap == nil {
+		return fmt.Errorf("sim: nil snapshot")
+	}
+	if err := m.Mem.Restore(snap.Cache); err != nil {
+		return fmt.Errorf("sim: restore cache: %w", err)
+	}
+	if err := m.TLB.Restore(snap.TLB); err != nil {
+		return fmt.Errorf("sim: restore tlb: %w", err)
+	}
+	if err := m.Pref.Restore(snap.Pref); err != nil {
+		return fmt.Errorf("sim: restore prefetcher: %w", err)
+	}
+	m.clock = snap.Clock
+	m.domainSwitches = snap.DomainSwitches
+	m.syscallCount = snap.SyscallCount
+	m.smtOps = snap.SMTOps
+	m.sinceAudit = snap.SinceAudit
+	m.jitterSrc.Restore(snap.JitterDraws)
+	m.noiseSrc.Restore(snap.NoiseDraws)
+	return nil
+}
+
+// asidNormalize maps the machine's raw ASIDs (allocated from a process-
+// global counter, so not reproducible across processes) onto stable values:
+// the kernel space becomes 1 and user processes 2, 3, ... in creation order.
+// Unknown ASIDs (a corrupted TLB entry) pass through raw.
+func (m *Machine) asidNormalize() func(uint64) uint64 {
+	table := map[uint64]uint64{m.Kernel.AS.ID: 1}
+	for i, p := range m.procs {
+		table[p.AS.ID] = uint64(i + 2)
+	}
+	return func(asid uint64) uint64 {
+		if n, ok := table[asid]; ok {
+			return n
+		}
+		return asid
+	}
+}
+
+// Component-hash keys, in the fixed order StateHash combines them.
+var componentOrder = []string{"cache.l1", "cache.l2", "cache.llc", "tlb", "prefetcher", "machine"}
+
+// ComponentHashes returns the stable per-component state digests. The
+// "machine" component covers the clock, scheduler counters, RNG positions
+// and the address-space layouts of the kernel plus every process.
+func (m *Machine) ComponentHashes() map[string]uint64 {
+	return map[string]uint64{
+		"cache.l1":   m.Mem.L1.StateHash(),
+		"cache.l2":   m.Mem.L2.StateHash(),
+		"cache.llc":  m.Mem.LLC.StateHash(),
+		"tlb":        m.TLB.StateHash(m.asidNormalize()),
+		"prefetcher": m.Pref.StateHash(),
+		"machine":    m.machineHash(),
+	}
+}
+
+// machineHash digests the machine-level scalar state.
+func (m *Machine) machineHash() uint64 {
+	h := statehash.New()
+	h.U64(m.clock).U64(m.domainSwitches).U64(m.syscallCount).Int(m.smtOps)
+	h.U64(m.jitterSrc.Draws()).U64(m.noiseSrc.Draws())
+	spaces := append([]*Process{m.Kernel}, m.procs...)
+	h.Int(len(spaces))
+	for _, p := range spaces {
+		h.Str(p.Name)
+		maps := p.AS.Mappings()
+		h.Int(len(maps))
+		for _, mp := range maps {
+			h.U64(uint64(mp.Base)).U64(mp.Length).Int(int(mp.Kind)).U64s(mp.Frames())
+		}
+	}
+	return h.Sum()
+}
+
+// StateHash folds every component digest, in fixed order, into one 64-bit
+// machine-state hash — the value the replay harness compares point by point.
+func (m *Machine) StateHash() uint64 {
+	hashes := m.ComponentHashes()
+	h := statehash.New()
+	for _, name := range componentOrder {
+		h.Str(name).Combine(hashes[name])
+	}
+	return h.Sum()
+}

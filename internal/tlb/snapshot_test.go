@@ -1,0 +1,70 @@
+package tlb
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+func TestTLBSnapshotRoundTrip(t *testing.T) {
+	tl := New(DefaultConfig())
+	for i := uint64(0); i < 48; i++ {
+		tl.Lookup(1+i%3, mem.VAddr(0x5000_0000+i*mem.PageSize))
+	}
+	if errs := tl.Audit(); len(errs) != 0 {
+		t.Fatalf("populated TLB fails audit: %v", errs)
+	}
+	snap := tl.Snapshot()
+	h := tl.StateHash(nil)
+
+	for i := uint64(0); i < 16; i++ {
+		tl.Lookup(7, mem.VAddr(0x9000_0000+i*mem.PageSize))
+	}
+	if tl.StateHash(nil) == h {
+		t.Fatal("hash unchanged after mutation")
+	}
+	if err := tl.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := tl.StateHash(nil); got != h {
+		t.Fatalf("restored hash %#x, want %#x", got, h)
+	}
+	if errs := tl.Audit(); len(errs) != 0 {
+		t.Fatalf("restored TLB fails audit: %v", errs)
+	}
+}
+
+// TestTLBStateHashNormalization: two TLBs holding the same translations
+// under different raw ASIDs hash identically once the normalizer maps them
+// to the same stable IDs — the property that makes machine hashes
+// comparable across process-global ASID allocation order.
+func TestTLBStateHashNormalization(t *testing.T) {
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	for i := uint64(0); i < 8; i++ {
+		a.Lookup(101, mem.VAddr(0x5000_0000+i*mem.PageSize))
+		b.Lookup(202, mem.VAddr(0x5000_0000+i*mem.PageSize))
+	}
+	if a.StateHash(nil) == b.StateHash(nil) {
+		t.Fatal("distinct raw ASIDs hashed identically without normalization")
+	}
+	norm := func(want uint64) func(uint64) uint64 {
+		return func(asid uint64) uint64 {
+			if asid == want {
+				return 1
+			}
+			return asid
+		}
+	}
+	if a.StateHash(norm(101)) != b.StateHash(norm(202)) {
+		t.Fatal("normalized hashes differ for identical translation state")
+	}
+}
+
+func TestTLBRestoreRejectsGeometryMismatch(t *testing.T) {
+	tl := New(DefaultConfig())
+	snap := tl.Snapshot()
+	other := New(Config{Entries: 8, Ways: 2, WalkLatency: 7})
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore accepted a snapshot with mismatched geometry")
+	}
+}

@@ -7,7 +7,10 @@
 package tlb
 
 import (
+	"fmt"
+
 	"afterimage/internal/mem"
+	"afterimage/internal/statehash"
 	"afterimage/internal/telemetry"
 )
 
@@ -222,4 +225,164 @@ func (t *TLB) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterFunc("tlb.hits", func() uint64 { return t.hits })
 	reg.RegisterFunc("tlb.misses", func() uint64 { return t.misses })
 	reg.RegisterFunc("tlb.stlb_hits", func() uint64 { return t.stlbHits })
+}
+
+// Audit deep-checks both levels: LRU stamps never ahead of the set clock and
+// no duplicate valid (asid, vpn) pairs within a set. It returns every broken
+// rule.
+func (t *TLB) Audit() []error {
+	errs := t.l1.audit("dtlb")
+	if t.stlb != nil {
+		errs = append(errs, t.stlb.audit("stlb")...)
+	}
+	return errs
+}
+
+func (l *level) audit(name string) []error {
+	var errs []error
+	for si, s := range l.sets {
+		for i := range s.entries {
+			if s.stamps[i] > s.clock {
+				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d stamp %d ahead of clock %d", name, si, i, s.stamps[i], s.clock))
+			}
+			if !s.entries[i].valid {
+				continue
+			}
+			if vpnSet := s.entries[i].vpn & l.setMask; vpnSet != uint64(si) {
+				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d holds vpn %#x which maps to set %d", name, si, i, s.entries[i].vpn, vpnSet))
+			}
+			for j := i + 1; j < len(s.entries); j++ {
+				if s.entries[j].valid && s.entries[j].vpn == s.entries[i].vpn && s.entries[j].asid == s.entries[i].asid {
+					errs = append(errs, fmt.Errorf("tlb %s: set %d holds duplicate (asid %d, vpn %#x) in ways %d and %d", name, si, s.entries[i].asid, s.entries[i].vpn, i, j))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// VisitEntries calls fn for every valid (asid, vpn) translation at either
+// level, in deterministic order. The machine's TLB↔page-table coherence
+// checker walks these against the address spaces' page tables.
+func (t *TLB) VisitEntries(fn func(asid, vpn uint64)) {
+	t.l1.visit(fn)
+	if t.stlb != nil {
+		t.stlb.visit(fn)
+	}
+}
+
+func (l *level) visit(fn func(asid, vpn uint64)) {
+	for _, s := range l.sets {
+		for i := range s.entries {
+			if s.entries[i].valid {
+				fn(s.entries[i].asid, s.entries[i].vpn)
+			}
+		}
+	}
+}
+
+// CorruptInsert force-installs a translation at the first level without any
+// page-table backing — the desync a missed shootdown would leave behind. The
+// coherence audit must flag it.
+func (t *TLB) CorruptInsert(asid, vpn uint64) { t.l1.install(asid, vpn) }
+
+// LevelSnapshot captures one translation array.
+type LevelSnapshot struct {
+	ASIDs  []uint64 // flattened set-major: entries
+	VPNs   []uint64
+	Valid  []bool
+	Stamps []uint64
+	Clocks []uint64 // one per set
+}
+
+// TLBSnapshot captures both levels plus counters.
+type TLBSnapshot struct {
+	L1, STLB LevelSnapshot // STLB empty when disabled
+	Hits     uint64
+	Misses   uint64
+	STLBHits uint64
+}
+
+func (l *level) snapshot() LevelSnapshot {
+	var snap LevelSnapshot
+	for _, s := range l.sets {
+		snap.Clocks = append(snap.Clocks, s.clock)
+		for i := range s.entries {
+			snap.ASIDs = append(snap.ASIDs, s.entries[i].asid)
+			snap.VPNs = append(snap.VPNs, s.entries[i].vpn)
+			snap.Valid = append(snap.Valid, s.entries[i].valid)
+			snap.Stamps = append(snap.Stamps, s.stamps[i])
+		}
+	}
+	return snap
+}
+
+func (l *level) restore(snap LevelSnapshot) error {
+	ways := len(l.sets[0].entries)
+	if len(snap.Clocks) != len(l.sets) || len(snap.ASIDs) != len(l.sets)*ways {
+		return fmt.Errorf("tlb: snapshot geometry mismatch (%d sets x %d ways vs %d clocks, %d entries)",
+			len(l.sets), ways, len(snap.Clocks), len(snap.ASIDs))
+	}
+	k := 0
+	for si, s := range l.sets {
+		s.clock = snap.Clocks[si]
+		for i := range s.entries {
+			s.entries[i] = entry{asid: snap.ASIDs[k], vpn: snap.VPNs[k], valid: snap.Valid[k]}
+			s.stamps[i] = snap.Stamps[k]
+			k++
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the TLB's complete state.
+func (t *TLB) Snapshot() TLBSnapshot {
+	snap := TLBSnapshot{L1: t.l1.snapshot(), Hits: t.hits, Misses: t.misses, STLBHits: t.stlbHits}
+	if t.stlb != nil {
+		snap.STLB = t.stlb.snapshot()
+	}
+	return snap
+}
+
+// Restore adopts a snapshot taken from a TLB with the same geometry.
+func (t *TLB) Restore(snap TLBSnapshot) error {
+	if err := t.l1.restore(snap.L1); err != nil {
+		return err
+	}
+	if t.stlb != nil {
+		if err := t.stlb.restore(snap.STLB); err != nil {
+			return err
+		}
+	}
+	t.hits, t.misses, t.stlbHits = snap.Hits, snap.Misses, snap.STLBHits
+	return nil
+}
+
+// StateHash folds the TLB's complete state into a stable digest. ASIDs are
+// allocated from a process-global counter, so the caller supplies normalize
+// to map raw ASIDs onto process-independent values; nil means identity.
+func (t *TLB) StateHash(normalize func(asid uint64) uint64) uint64 {
+	if normalize == nil {
+		normalize = func(a uint64) uint64 { return a }
+	}
+	h := statehash.New()
+	t.l1.hashInto(h, normalize)
+	if t.stlb != nil {
+		t.stlb.hashInto(h, normalize)
+	}
+	h.U64(t.hits).U64(t.misses).U64(t.stlbHits)
+	return h.Sum()
+}
+
+func (l *level) hashInto(h *statehash.Hash, normalize func(uint64) uint64) {
+	for _, s := range l.sets {
+		h.U64(s.clock)
+		for i := range s.entries {
+			h.Bool(s.entries[i].valid)
+			if s.entries[i].valid {
+				h.U64(normalize(s.entries[i].asid)).U64(s.entries[i].vpn)
+			}
+			h.U64(s.stamps[i])
+		}
+	}
 }

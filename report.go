@@ -88,6 +88,10 @@ type ReportOptions struct {
 	// zero value is sequential; any setting produces the same report.
 	// Fingerprint is derived per campaign and must not be set.
 	Runner runner.Options
+	// AuditEvery propagates the invariant-audit cadence (Options.AuditEvery)
+	// into every Table 3 lab. Audits are read-only, so any setting produces
+	// the same report; a failing audit degrades that experiment.
+	AuditEvery int
 }
 
 // FullReport runs the complete reproduction suite and returns the report.
@@ -100,11 +104,15 @@ func FullReport(opts ReportOptions) (*Report, error) {
 // of the fields its attack produces, plus the per-phase accounting from the
 // job's lab.
 type table3Val struct {
-	Success float64        `json:"success,omitempty"`
-	IPFound bool           `json:"ip_found,omitempty"`
-	Bps     float64        `json:"bps,omitempty"`
-	ErrRate float64        `json:"err_rate,omitempty"`
-	Phases  []PhaseSummary `json:"phases,omitempty"`
+	Success float64 `json:"success,omitempty"`
+	IPFound bool    `json:"ip_found,omitempty"`
+	Bps     float64 `json:"bps,omitempty"`
+	ErrRate float64 `json:"err_rate,omitempty"`
+	// StateHash is the machine's full-state hash after the attack — the
+	// replay harness's divergence oracle. Checkpoint-internal: it rides in
+	// the runner checkpoint but never surfaces in the Report schema.
+	StateHash uint64         `json:"state_hash,omitempty"`
+	Phases    []PhaseSummary `json:"phases,omitempty"`
 }
 
 // derivedCheckpoint namespaces one checkpoint path per campaign, so a
@@ -115,6 +123,104 @@ func derivedCheckpoint(path, tag string) string {
 		return ""
 	}
 	return path + "." + tag
+}
+
+// table3Spec is one supervised Table 3 experiment: its checkpoint key and
+// the attack it runs against a fresh lab.
+type table3Spec struct {
+	key string
+	run func(ctx context.Context, lab *Lab) (table3Val, error)
+}
+
+// table3Specs enumerates the Table 3 experiments in their historic order
+// (the index doubles as the seed offset).
+func table3Specs(opts ReportOptions) []table3Spec {
+	perCycle := 1.0 / 3e9
+	return []table3Spec{
+		{"v1-thread", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"v1-process", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds, CrossProcess: true})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"v2-kernel", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant2E(V2Options{Bits: opts.Rounds})
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"sgx", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunSGXE(opts.Rounds, nil)
+			return table3Val{Success: res.SuccessRate()}, err
+		}},
+		{"ip-search", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunVariant2E(V2Options{Bits: 4, UseIPSearch: true})
+			return table3Val{IPFound: res.IPSearched && res.FoundIPLow8 == 0xA7}, err
+		}},
+		{"covert-1", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128)})
+			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
+		}},
+		{"covert-24", func(_ context.Context, lab *Lab) (table3Val, error) {
+			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128), Entries: 24})
+			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
+		}},
+	}
+}
+
+// table3LabOptions is the lab configuration for the i-th Table 3 experiment.
+// Seeds keep the historic sequential layout (+0 … +6) so numbers match older
+// reports exactly.
+func table3LabOptions(opts ReportOptions, i int, key string) Options {
+	labOpts := Options{Seed: opts.Seed + int64(i), AuditEvery: opts.AuditEvery}
+	if key == "ip-search" {
+		labOpts.Quiet = true
+	}
+	return labOpts
+}
+
+// runTable3Spec boots a fresh lab and executes one Table 3 experiment:
+// attack, then a final invariant audit (silent state corruption becomes a
+// typed FaultCorruption), then the full-state hash for replay comparison.
+// The replay harness calls this directly to re-derive a checkpoint's values.
+func runTable3Spec(ctx context.Context, labOpts Options, spec table3Spec) (table3Val, error) {
+	lab := NewLab(labOpts)
+	lab.ArmCancel(ctx)
+	val, err := spec.run(ctx, lab)
+	if err == nil {
+		err = lab.m.Audit()
+	}
+	val.Phases = lab.PhaseSummaries()
+	val.StateHash = lab.m.StateHash()
+	return val, err
+}
+
+// table3Jobs builds the supervised job list for the Table 3 campaign.
+func table3Jobs(opts ReportOptions) []runner.Job {
+	specs := table3Specs(opts)
+	jobs := make([]runner.Job, len(specs))
+	for i, t := range specs {
+		i, t := i, t
+		labOpts := table3LabOptions(opts, i, t.key)
+		jobs[i] = runner.Job{
+			Key: t.key,
+			Run: func(jctx context.Context, _ int) (any, error) {
+				return runTable3Spec(jctx, labOpts, t)
+			},
+		}
+	}
+	return jobs
+}
+
+// table3Fingerprint identifies the Table 3 campaign for checkpoint
+// resume/replay. AuditEvery is deliberately absent: audits are read-only,
+// so a cadence change does not invalidate recorded results.
+func table3Fingerprint(opts ReportOptions) string {
+	return runner.Fingerprint(struct {
+		Kind   string
+		Seed   int64
+		Rounds int
+	}{"full-report-table3/1", opts.Seed, opts.Rounds})
 }
 
 // FullReportCtx is FullReport under a campaign context: the Table 3 attack
@@ -179,68 +285,13 @@ func FullReportCtx(ctx context.Context, opts ReportOptions) (*Report, error) {
 	// Attack success rates (noisy machines, fresh lab per experiment) and the
 	// covert channel — Table 3 — as supervised jobs. Seeds match the historic
 	// sequential layout (+0 … +6) so the numbers are unchanged.
-	perCycle := 1.0 / 3e9
-	table3 := []struct {
-		key string
-		run func(ctx context.Context, lab *Lab) (table3Val, error)
-	}{
-		{"v1-thread", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds})
-			return table3Val{Success: res.SuccessRate()}, err
-		}},
-		{"v1-process", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunVariant1E(V1Options{Bits: opts.Rounds, CrossProcess: true})
-			return table3Val{Success: res.SuccessRate()}, err
-		}},
-		{"v2-kernel", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunVariant2E(V2Options{Bits: opts.Rounds})
-			return table3Val{Success: res.SuccessRate()}, err
-		}},
-		{"sgx", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunSGXE(opts.Rounds, nil)
-			return table3Val{Success: res.SuccessRate()}, err
-		}},
-		{"ip-search", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunVariant2E(V2Options{Bits: 4, UseIPSearch: true})
-			return table3Val{IPFound: res.IPSearched && res.FoundIPLow8 == 0xA7}, err
-		}},
-		{"covert-1", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128)})
-			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
-		}},
-		{"covert-24", func(_ context.Context, lab *Lab) (table3Val, error) {
-			res, err := lab.RunCovertChannelE(CovertOptions{Message: make([]byte, 128), Entries: 24})
-			return table3Val{Bps: res.RawBps(perCycle), ErrRate: res.ErrorRate()}, err
-		}},
-	}
-	jobs := make([]runner.Job, len(table3))
-	for i, t := range table3 {
-		i, t := i, t
-		labOpts := Options{Seed: opts.Seed + int64(i)}
-		if t.key == "ip-search" {
-			labOpts.Quiet = true
-		}
-		jobs[i] = runner.Job{
-			Key: t.key,
-			Run: func(jctx context.Context, _ int) (any, error) {
-				lab := NewLab(labOpts)
-				lab.ArmCancel(jctx)
-				val, err := t.run(jctx, lab)
-				val.Phases = lab.PhaseSummaries()
-				return val, err
-			},
-		}
-	}
+	jobs := table3Jobs(opts)
 	ropts := opts.Runner
 	if ropts.Seed == 0 {
 		ropts.Seed = opts.Seed
 	}
 	ropts.CheckpointPath = derivedCheckpoint(opts.Runner.CheckpointPath, "table3")
-	ropts.Fingerprint = runner.Fingerprint(struct {
-		Kind   string
-		Seed   int64
-		Rounds int
-	}{"full-report-table3/1", opts.Seed, opts.Rounds})
+	ropts.Fingerprint = table3Fingerprint(opts)
 	jrs, rerr := runner.Run(ctx, jobs, ropts)
 	if rerr != nil {
 		return nil, fmt.Errorf("table 3 runs: %w", rerr)

@@ -27,6 +27,7 @@ const (
 	FaultBadSyscall = sim.FaultBadSyscall
 	FaultAPIMisuse  = sim.FaultAPIMisuse
 	FaultOOM        = sim.FaultOOM
+	FaultCorruption = sim.FaultCorruption
 )
 
 // AsFault extracts a *SimFault from an error chain.

@@ -7,6 +7,7 @@ import (
 
 	"afterimage/internal/faults"
 	"afterimage/internal/runner"
+	"afterimage/internal/sim"
 )
 
 // SweepAttack selects which attack a fault sweep drives.
@@ -108,6 +109,16 @@ type SweepPoint struct {
 	// Degraded marks a point whose failure was permanent or whose retry
 	// budget ran out; the campaign recorded it and continued.
 	Degraded bool `json:"degraded,omitempty"`
+	// Quarantined marks a point on which a corruption fault fired: the
+	// auditor caught an invariant violation, the point was re-run from a
+	// fresh lab, and its final outcome — successful retry or degraded —
+	// must be read with that history in mind.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// StateHash is the machine's full-state digest at the end of the
+	// point's run (fresh runs only; resumed points keep the hash their
+	// original run recorded). The replay harness re-executes points from
+	// the checkpoint and diffs these.
+	StateHash uint64 `json:"state_hash,omitempty"`
 	// Phases carries the point lab's attack-phase accounting
 	// (train/trigger/probe/decode), which the parent lab also absorbs into
 	// its own PhaseSummaries.
@@ -148,17 +159,10 @@ func (l *Lab) RunFaultSweep(o SweepOptions) SweepResult {
 // sweep resumes where it stopped. A canceled context returns the completed
 // prefix of the curve together with the cancellation error.
 func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult, error) {
-	if len(o.Intensities) == 0 {
-		o.Intensities = []float64{0, 0.5, 1, 2, 4}
+	if err := o.Validate(); err != nil {
+		return SweepResult{Attack: o.Attack.String(), Model: l.ModelName()}, err
 	}
-	if o.Bits <= 0 {
-		o.Bits = 32
-	}
-	labOpts := l.opts
-	labOpts.Seed += o.Attack.seedOffset()
-	if o.MaxCycles != 0 {
-		labOpts.MaxCycles = o.MaxCycles
-	}
+	o, labOpts := l.sweepNormalize(o)
 
 	// childLabs retains each point's lab (fresh runs only) so the parent can
 	// absorb its event trace after the pool drains; distinct indices make
@@ -168,55 +172,9 @@ func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult
 	for i, intensity := range o.Intensities {
 		i, intensity := i, intensity
 		jobs[i] = runner.Job{
-			Key: fmt.Sprintf("%s/%02d@%g", o.Attack, i, intensity),
+			Key: sweepPointKey(o.Attack, i, intensity),
 			Run: func(jctx context.Context, attempt int) (any, error) {
-				lab := NewLab(labOpts)
-				if l.traceOn {
-					lab.EnableTrace(l.traceCap)
-				}
-				lab.ArmCancel(jctx)
-				var eng *faults.Engine
-				if intensity > 0 {
-					fc := o.Faults
-					fc.Intensity = intensity
-					if fc.Seed == 0 {
-						fc.Seed = labOpts.Seed + 811
-					}
-					// Retries are independent trials of the same intensity:
-					// salt the schedule, keep the lab seed (point identity).
-					fc.Seed += int64(attempt) * 7919
-					eng = lab.InjectFaults(fc)
-				}
-				pt := SweepPoint{Intensity: intensity}
-				var err error
-				switch o.Attack {
-				case SweepV1Process:
-					var r LeakResult
-					r, err = lab.RunVariant1E(V1Options{Bits: o.Bits, CrossProcess: true})
-					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
-				case SweepV2Kernel:
-					var r V2Result
-					r, err = lab.RunVariant2E(V2Options{Bits: o.Bits})
-					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
-				case SweepCovert:
-					var r CovertResult
-					r, err = lab.RunCovertChannelE(CovertOptions{Message: make([]byte, o.Bits)})
-					pt.SuccessRate, pt.Cycles = 1-r.ErrorRate(), r.Cycles
-				default:
-					var r LeakResult
-					r, err = lab.RunVariant1E(V1Options{Bits: o.Bits})
-					pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
-				}
-				if err != nil {
-					pt.Err = err.Error()
-					if f, ok := AsFault(err); ok {
-						pt.FaultKind = f.Kind.String()
-					}
-				}
-				if eng != nil {
-					pt.FaultEvents = eng.Stats().Total
-				}
-				pt.Phases = lab.PhaseSummaries()
+				pt, lab, err := runSweepPoint(jctx, labOpts, o, intensity, attempt, l.traceOn, l.traceCap)
 				if l.traceOn {
 					childLabs[i] = lab
 				}
@@ -232,14 +190,7 @@ func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult
 	if ropts.Metrics == nil {
 		ropts.Metrics = l.m.Telemetry().Registry()
 	}
-	ropts.Fingerprint = runner.Fingerprint(struct {
-		Kind        string
-		Lab         Options
-		Attack      string
-		Intensities []float64
-		Bits        int
-		Faults      faults.Config
-	}{"fault-sweep/1", labOpts, o.Attack.String(), o.Intensities, o.Bits, o.Faults})
+	ropts.Fingerprint = sweepFingerprint(labOpts, o)
 
 	jrs, rerr := runner.Run(ctx, jobs, ropts)
 
@@ -265,6 +216,7 @@ func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult
 			pt.Attempts = jr.Attempts
 		}
 		pt.Degraded = jr.Degraded
+		pt.Quarantined = hasCorruptionHistory(jr.FaultHistory)
 		tel.AbsorbSummaries(pt.Phases)
 		if childLabs[i] != nil {
 			tel.AbsorbEvents(childLabs[i].m.Telemetry().Events())
@@ -272,4 +224,115 @@ func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult
 		res.Points = append(res.Points, pt)
 	}
 	return res, rerr
+}
+
+// sweepNormalize fills the sweep defaults and derives the per-point lab
+// options (FullReport-aligned seed offset, per-point watchdog) — shared by
+// the sweep itself and the replay harness so both derive identical points.
+func (l *Lab) sweepNormalize(o SweepOptions) (SweepOptions, Options) {
+	if len(o.Intensities) == 0 {
+		o.Intensities = []float64{0, 0.5, 1, 2, 4}
+	}
+	if o.Bits <= 0 {
+		o.Bits = 32
+	}
+	labOpts := l.opts
+	labOpts.Seed += o.Attack.seedOffset()
+	if o.MaxCycles != 0 {
+		labOpts.MaxCycles = o.MaxCycles
+	}
+	return o, labOpts
+}
+
+// sweepPointKey is the stable checkpoint key of one sweep point.
+func sweepPointKey(a SweepAttack, i int, intensity float64) string {
+	return fmt.Sprintf("%s/%02d@%g", a, i, intensity)
+}
+
+// sweepFingerprint identifies a sweep campaign for checkpoint validation.
+// AuditEvery is zeroed first: audits are read-only, so a cadence change does
+// not invalidate recorded results (matching table3Fingerprint).
+func sweepFingerprint(labOpts Options, o SweepOptions) string {
+	labOpts.AuditEvery = 0
+	return runner.Fingerprint(struct {
+		Kind        string
+		Lab         Options
+		Attack      string
+		Intensities []float64
+		Bits        int
+		Faults      faults.Config
+	}{"fault-sweep/1", labOpts, o.Attack.String(), o.Intensities, o.Bits, o.Faults})
+}
+
+// hasCorruptionHistory reports whether any attempt of a job died on an
+// invariant-audit (corruption) fault.
+func hasCorruptionHistory(history []string) bool {
+	for _, h := range history {
+		if h == sim.FaultCorruption.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// runSweepPoint executes one sweep point in a fresh lab: install the salted
+// fault engine, run the attack through its error-hardened variant, then
+// audit the final machine state and digest it. A failing final audit turns
+// an otherwise-successful attempt into a corruption fault, so silently
+// corrupted points are retried (quarantined) instead of reported.
+func runSweepPoint(jctx context.Context, labOpts Options, o SweepOptions, intensity float64, attempt int, trace bool, traceCap int) (SweepPoint, *Lab, error) {
+	lab := NewLab(labOpts)
+	if trace {
+		lab.EnableTrace(traceCap)
+	}
+	lab.ArmCancel(jctx)
+	var eng *faults.Engine
+	if intensity > 0 {
+		fc := o.Faults
+		fc.Intensity = intensity
+		if fc.Seed == 0 {
+			fc.Seed = labOpts.Seed + 811
+		}
+		// Retries are independent trials of the same intensity:
+		// salt the schedule, keep the lab seed (point identity).
+		fc.Seed += int64(attempt) * 7919
+		eng = lab.InjectFaults(fc)
+	}
+	pt := SweepPoint{Intensity: intensity}
+	var err error
+	switch o.Attack {
+	case SweepV1Process:
+		var r LeakResult
+		r, err = lab.RunVariant1E(V1Options{Bits: o.Bits, CrossProcess: true})
+		pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+	case SweepV2Kernel:
+		var r V2Result
+		r, err = lab.RunVariant2E(V2Options{Bits: o.Bits})
+		pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+	case SweepCovert:
+		var r CovertResult
+		r, err = lab.RunCovertChannelE(CovertOptions{Message: make([]byte, o.Bits)})
+		pt.SuccessRate, pt.Cycles = 1-r.ErrorRate(), r.Cycles
+	default:
+		var r LeakResult
+		r, err = lab.RunVariant1E(V1Options{Bits: o.Bits})
+		pt.SuccessRate, pt.MeanConfidence, pt.Cycles = r.SuccessRate(), r.MeanConfidence(), r.Cycles
+	}
+	if err == nil {
+		// Final audit: whatever the cadence setting, a point never reports
+		// success over structurally corrupt state.
+		err = lab.m.Audit()
+	}
+	if err != nil {
+		pt.Err = err.Error()
+		if f, ok := AsFault(err); ok {
+			pt.FaultKind = f.Kind.String()
+		}
+	}
+	if eng != nil {
+		pt.FaultEvents = eng.Stats().Total
+	}
+	pt.StateHash = lab.m.StateHash()
+	pt.Phases = lab.PhaseSummaries()
+	return pt, lab, err
 }

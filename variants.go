@@ -132,6 +132,9 @@ func (l *Lab) RunVariant1(opts V1Options) LeakResult {
 func (l *Lab) RunVariant1E(opts V1Options) (res LeakResult, err error) {
 	defer recoverAsError(&err)
 	opts.fill(l)
+	if verr := opts.Validate(); verr != nil {
+		return LeakResult{}, verr
+	}
 	switch opts.Backend {
 	case PrimeProbe:
 		return l.runV1PrimeProbe(opts)
@@ -398,6 +401,9 @@ func (l *Lab) RunVariant2E(opts V2Options) (res V2Result, err error) {
 	}
 	if opts.Stride == 0 {
 		opts.Stride = 11
+	}
+	if verr := opts.Validate(); verr != nil {
+		return V2Result{}, verr
 	}
 	m := l.m
 	kv := victim.NewKernelSecret(m, 333, opts.Secret)
