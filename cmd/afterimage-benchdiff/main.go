@@ -1,0 +1,369 @@
+// Command afterimage-benchdiff compares `go test -bench` output against the
+// committed hot-path baseline (BENCH_hotpath.json) and fails on regressions.
+// It exists because the CI image cannot install benchstat; the comparison it
+// performs is the benchstat-shaped subset the perf gate needs:
+//
+//   - parse standard benchmark output lines (multiple -count runs per name),
+//   - reduce each benchmark to its median ns/op, B/op and allocs/op,
+//   - compute per-benchmark deltas and the geometric-mean time ratio over
+//     every benchmark present in both the run and the baseline,
+//   - exit 1 when the geomean regresses by more than -threshold percent, or
+//     when a benchmark whose baseline pins 0 allocs/op starts allocating.
+//
+// A markdown delta table is written to -out for the CI artifact upload.
+// With -update the baseline's measured fields (ns_op, bytes_op, allocs_op)
+// are rewritten from the run's medians; the seed_* history is preserved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry mirrors one benchmark record in BENCH_hotpath.json. The
+// seed_* fields are the pre-overhaul history and are carried through -update
+// untouched; only the unprefixed measured fields participate in the gate.
+type baselineEntry struct {
+	Package     string   `json:"package,omitempty"`
+	SeedNsOp    *float64 `json:"seed_ns_op,omitempty"`
+	SeedBytesOp *float64 `json:"seed_bytes_op,omitempty"`
+	SeedAllocs  *float64 `json:"seed_allocs_op,omitempty"`
+	NsOp        float64  `json:"ns_op"`
+	BytesOp     *float64 `json:"bytes_op,omitempty"`
+	AllocsOp    *float64 `json:"allocs_op,omitempty"`
+}
+
+type baseline struct {
+	Schema       int                       `json:"schema"`
+	Updated      string                    `json:"updated,omitempty"`
+	Go           string                    `json:"go,omitempty"`
+	CPU          string                    `json:"cpu,omitempty"`
+	ThresholdPct float64                   `json:"threshold_pct,omitempty"`
+	Note         string                    `json:"note,omitempty"`
+	Benchmarks   map[string]*baselineEntry `json:"benchmarks"`
+}
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+	hasBytes bool
+	hasAlloc bool
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op ..." — the GOMAXPROCS
+// suffix is optional (root-package benchmarks here print without it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput collects every benchmark sample in r, keyed by the
+// benchmark name with any -N GOMAXPROCS suffix stripped. Non-benchmark lines
+// (pkg headers, PASS, custom metrics on their own lines) are ignored.
+func parseBenchOutput(r io.Reader) (map[string][]sample, error) {
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		s, ok := parseMetrics(m[3])
+		if !ok {
+			continue // a Benchmark-prefixed line with no ns/op field
+		}
+		out[m[1]] = append(out[m[1]], s)
+	}
+	return out, sc.Err()
+}
+
+// parseMetrics walks the "value unit value unit ..." tail of a benchmark
+// line. Unknown units (custom b.ReportMetric outputs like "success-%") are
+// skipped so they never corrupt the timing fields.
+func parseMetrics(tail string) (sample, bool) {
+	var s sample
+	fields := strings.Fields(tail)
+	seenNs := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return s, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsOp, seenNs = v, true
+		case "B/op":
+			s.bytesOp, s.hasBytes = v, true
+		case "allocs/op":
+			s.allocsOp, s.hasAlloc = v, true
+		}
+	}
+	return s, seenNs
+}
+
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// reduced is the per-benchmark median over all -count runs.
+type reduced struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+	hasBytes bool
+	hasAlloc bool
+	runs     int
+}
+
+func reduce(samples map[string][]sample) map[string]reduced {
+	out := make(map[string]reduced, len(samples))
+	for name, ss := range samples {
+		var ns, by, al []float64
+		r := reduced{runs: len(ss)}
+		for _, s := range ss {
+			ns = append(ns, s.nsOp)
+			if s.hasBytes {
+				by = append(by, s.bytesOp)
+				r.hasBytes = true
+			}
+			if s.hasAlloc {
+				al = append(al, s.allocsOp)
+				r.hasAlloc = true
+			}
+		}
+		r.nsOp = median(ns)
+		if r.hasBytes {
+			r.bytesOp = median(by)
+		}
+		if r.hasAlloc {
+			r.allocsOp = median(al)
+		}
+		out[name] = r
+	}
+	return out
+}
+
+// row is one line of the delta table.
+type row struct {
+	name      string
+	base, now reduced
+	ratio     float64 // now/base time ratio; >1 is a regression
+	allocBad  bool    // baseline pinned 0 allocs/op, run allocates
+}
+
+// compare joins the run against the baseline. Benchmarks missing on either
+// side are reported by name but do not gate; the geomean covers the join.
+func compare(base map[string]*baselineEntry, run map[string]reduced) (rows []row, onlyBase, onlyRun []string) {
+	for name, b := range base {
+		r, ok := run[name]
+		if !ok {
+			onlyBase = append(onlyBase, name)
+			continue
+		}
+		rw := row{
+			name:  name,
+			base:  reduced{nsOp: b.NsOp},
+			now:   r,
+			ratio: r.nsOp / b.NsOp,
+		}
+		if b.BytesOp != nil {
+			rw.base.bytesOp, rw.base.hasBytes = *b.BytesOp, true
+		}
+		if b.AllocsOp != nil {
+			rw.base.allocsOp, rw.base.hasAlloc = *b.AllocsOp, true
+			if *b.AllocsOp == 0 && r.hasAlloc && r.allocsOp > 0 {
+				rw.allocBad = true
+			}
+		}
+		rows = append(rows, rw)
+	}
+	for name := range run {
+		if _, ok := base[name]; !ok {
+			onlyRun = append(onlyRun, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(onlyBase)
+	sort.Strings(onlyRun)
+	return rows, onlyBase, onlyRun
+}
+
+func geomean(rows []row) float64 {
+	if len(rows) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += math.Log(r.ratio)
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.2fns", v)
+	}
+}
+
+func writeDelta(w io.Writer, rows []row, onlyBase, onlyRun []string, gm, thresholdPct float64, pass bool) {
+	fmt.Fprintf(w, "# Hot-path benchmark delta\n\n")
+	fmt.Fprintf(w, "| benchmark | baseline | run | delta | allocs (base → run) |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|\n")
+	for _, r := range rows {
+		allocs := "–"
+		if r.base.hasAlloc || r.now.hasAlloc {
+			allocs = fmt.Sprintf("%.0f → %.0f", r.base.allocsOp, r.now.allocsOp)
+			if r.allocBad {
+				allocs += " ⚠"
+			}
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%% | %s |\n",
+			r.name, fmtNs(r.base.nsOp), fmtNs(r.now.nsOp), (r.ratio-1)*100, allocs)
+	}
+	fmt.Fprintf(w, "\n**Geomean time ratio:** %.3f (%+.1f%%, threshold +%.0f%%) — **%s**\n",
+		gm, (gm-1)*100, thresholdPct, map[bool]string{true: "PASS", false: "FAIL"}[pass])
+	if !pass {
+		fmt.Fprintf(w, "\nBaseline numbers are machine-relative. If the regression is expected (new runner\nhardware or an intentional trade-off), refresh the baseline from this run:\n`go run ./cmd/afterimage-benchdiff -baseline BENCH_hotpath.json -update <bench-output.txt>`\nand commit the result.\n")
+	}
+	if len(onlyBase) > 0 {
+		fmt.Fprintf(w, "\nIn baseline but not measured: %s\n", strings.Join(onlyBase, ", "))
+	}
+	if len(onlyRun) > 0 {
+		fmt.Fprintf(w, "\nMeasured but not in baseline: %s\n", strings.Join(onlyRun, ", "))
+	}
+}
+
+func run() int {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON file")
+	threshold := flag.Float64("threshold", 0, "max allowed geomean regression in percent (0 = use the baseline's threshold_pct)")
+	out := flag.String("out", "", "write the markdown delta table to this file as well as stdout")
+	update := flag.Bool("update", false, "rewrite the baseline's measured fields from this run's medians instead of gating")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: afterimage-benchdiff [-baseline BENCH_hotpath.json] [-threshold pct] [-out delta.md] [-update] bench-output.txt ...")
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	samples := make(map[string][]sample)
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		got, perr := parseBenchOutput(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, perr)
+			return 2
+		}
+		for name, ss := range got {
+			samples[name] = append(samples[name], ss...)
+		}
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found in input")
+		return 2
+	}
+	medians := reduce(samples)
+
+	if *update {
+		for name, r := range medians {
+			e := base.Benchmarks[name]
+			if e == nil {
+				e = &baselineEntry{}
+				base.Benchmarks[name] = e
+			}
+			e.NsOp = r.nsOp
+			if r.hasBytes {
+				v := r.bytesOp
+				e.BytesOp = &v
+			}
+			if r.hasAlloc {
+				v := r.allocsOp
+				e.AllocsOp = &v
+			}
+		}
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("benchdiff: updated %d benchmark(s) in %s\n", len(medians), *baselinePath)
+		return 0
+	}
+
+	pct := *threshold
+	if pct == 0 {
+		pct = base.ThresholdPct
+	}
+	if pct == 0 {
+		pct = 10
+	}
+
+	rows, onlyBase, onlyRun := compare(base.Benchmarks, medians)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common with the baseline")
+		return 2
+	}
+	gm := geomean(rows)
+	allocFail := false
+	for _, r := range rows {
+		if r.allocBad {
+			allocFail = true
+			fmt.Fprintf(os.Stderr, "benchdiff: %s allocates %.0f/op; baseline pins 0\n", r.name, r.now.allocsOp)
+		}
+	}
+	pass := gm <= 1+pct/100 && !allocFail
+
+	var sb strings.Builder
+	writeDelta(&sb, rows, onlyBase, onlyRun, gm, pct, pass)
+	fmt.Print(sb.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+	}
+	if !pass {
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run()) }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: afterimage/internal/cache
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkCacheAccessHit    	33168086	         6.000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheAccessHit    	41355872	         8.000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheAccessHit    	37223868	         7.000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig13aV1PrimeProbe 	       1	  16187262 ns/op	       100.0 success-%
+BenchmarkFig13aV1PrimeProbe 	       1	  10618787 ns/op	       100.0 success-%
+BenchmarkRunApp-8        	      18	  13174564 ns/op	 2813808 B/op	     170 allocs/op
+PASS
+ok  	afterimage/internal/cache	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkCacheAccessHit"]); got != 3 {
+		t.Fatalf("CacheAccessHit samples = %d, want 3", got)
+	}
+	if got := len(samples["BenchmarkFig13aV1PrimeProbe"]); got != 2 {
+		t.Fatalf("Fig13a samples = %d, want 2 (custom success-%% metric must not confuse the parser)", got)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	ra := samples["BenchmarkRunApp"]
+	if len(ra) != 1 || ra[0].nsOp != 13174564 || !ra[0].hasAlloc || ra[0].allocsOp != 170 {
+		t.Fatalf("RunApp parsed as %+v", ra)
+	}
+
+	medians := reduce(samples)
+	if got := medians["BenchmarkCacheAccessHit"].nsOp; got != 7.000 {
+		t.Fatalf("CacheAccessHit median = %v, want 7.000", got)
+	}
+	if got := medians["BenchmarkFig13aV1PrimeProbe"].nsOp; got != (16187262+10618787)/2.0 {
+		t.Fatalf("Fig13a even-count median = %v", got)
+	}
+}
+
+func TestCompareGeomeanAndAllocGate(t *testing.T) {
+	zero := 0.0
+	base := map[string]*baselineEntry{
+		"BenchmarkA":    {NsOp: 100, AllocsOp: &zero},
+		"BenchmarkB":    {NsOp: 200},
+		"BenchmarkGone": {NsOp: 50},
+	}
+	run := map[string]reduced{
+		"BenchmarkA":   {nsOp: 110, hasAlloc: true, allocsOp: 0, runs: 3},
+		"BenchmarkB":   {nsOp: 180, runs: 3},
+		"BenchmarkNew": {nsOp: 1, runs: 3},
+	}
+	rows, onlyBase, onlyRun := compare(base, run)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkGone" {
+		t.Fatalf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyRun) != 1 || onlyRun[0] != "BenchmarkNew" {
+		t.Fatalf("onlyRun = %v", onlyRun)
+	}
+	// geomean(1.10, 0.90) = sqrt(0.99)
+	if gm := geomean(rows); math.Abs(gm-math.Sqrt(1.10*0.90)) > 1e-12 {
+		t.Fatalf("geomean = %v", gm)
+	}
+	for _, r := range rows {
+		if r.allocBad {
+			t.Fatalf("%s flagged allocBad with 0 allocs", r.name)
+		}
+	}
+
+	// A benchmark whose baseline pins 0 allocs/op must trip the gate the
+	// moment it allocates, regardless of timing.
+	run["BenchmarkA"] = reduced{nsOp: 90, hasAlloc: true, allocsOp: 2, runs: 3}
+	rows, _, _ = compare(base, run)
+	tripped := false
+	for _, r := range rows {
+		if r.name == "BenchmarkA" && r.allocBad {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("zero-alloc gate did not trip")
+	}
+}

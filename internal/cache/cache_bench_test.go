@@ -9,6 +9,7 @@ import (
 func BenchmarkCacheAccessHit(b *testing.B) {
 	c := MustNew(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, Policy: TreePLRU})
 	c.Fill(0x1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(0x1000)
@@ -17,6 +18,7 @@ func BenchmarkCacheAccessHit(b *testing.B) {
 
 func BenchmarkCacheFillEvict(b *testing.B) {
 	c := MustNew(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, Policy: TreePLRU})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Fill(mem.PAddr(uint64(i) * 64))
@@ -31,6 +33,7 @@ func BenchmarkHierarchyLoadMiss(b *testing.B) {
 		Lat: Latencies{L1: 4, L2: 14, LLC: 44, DRAM: 200},
 	}
 	h, _ := NewHierarchy(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Load(mem.PAddr(uint64(i) * 64))
@@ -38,6 +41,7 @@ func BenchmarkHierarchyLoadMiss(b *testing.B) {
 }
 
 func BenchmarkSliceHash(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		SliceHash(uint64(i)*64, 8)
 	}

@@ -257,10 +257,21 @@ func TestPolicyNames(t *testing.T) {
 
 func TestLatenciesOf(t *testing.T) {
 	l := Latencies{L1: 1, L2: 2, LLC: 3, DRAM: 4}
-	for lvl, want := range map[Level]uint64{LevelL1: 1, LevelL2: 2, LevelLLC: 3, LevelDRAM: 4} {
-		if got := l.Of(lvl); got != want {
-			t.Fatalf("Of(%v) = %d, want %d", lvl, got, want)
-		}
+	cases := []struct {
+		level Level
+		want  uint64
+	}{
+		{LevelL1, 1},
+		{LevelL2, 2},
+		{LevelLLC, 3},
+		{LevelDRAM, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.level.String(), func(t *testing.T) {
+			if got := l.Of(tc.level); got != tc.want {
+				t.Fatalf("Of(%v) = %d, want %d", tc.level, got, tc.want)
+			}
+		})
 	}
 }
 

@@ -87,18 +87,30 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 // Load performs a demand load of the line containing p: it reports the level
 // that served it and its latency, and fills all levels on the way in.
 func (h *Hierarchy) Load(p mem.PAddr) (Level, uint64) {
+	// Each miss branch fills via fillMissed: the Access that just missed
+	// proved the line absent from that level, and nothing on the way here
+	// re-inserts it (outer-level fills and back-invalidations never add
+	// lines to an inner level), so the residency re-scan Fill would do is
+	// skipped. The mutations are identical to Fill's for an absent line.
 	switch {
 	case h.L1.Access(p):
 		return LevelL1, h.Lat.L1
 	case h.L2.Access(p):
-		h.fillL1(p)
+		h.L1.fillMissed(h.L1.lineOf(p), false)
 		return LevelL2, h.Lat.L2
 	case h.LLC.Access(p):
-		h.fillL2(p)
-		h.fillL1(p)
+		h.L2.fillMissed(h.L2.lineOf(p), false)
+		h.L1.fillMissed(h.L1.lineOf(p), false)
 		return LevelLLC, h.Lat.LLC
 	default:
-		h.Fill(p)
+		if ev, ok := h.LLC.fillMissed(h.LLC.lineOf(p), false); ok {
+			// Inclusive: a line leaving the LLC leaves the inner levels too.
+			// The evicted line is never p's own line, so p stays absent.
+			h.L2.RemoveLine(ev)
+			h.L1.RemoveLine(ev)
+		}
+		h.L2.fillMissed(h.L2.lineOf(p), false)
+		h.L1.fillMissed(h.L1.lineOf(p), false)
 		return LevelDRAM, h.Lat.DRAM
 	}
 }

@@ -258,6 +258,9 @@ func (p *bitPLRU) Audit() error {
 // (every MRU bit set, counter agreeing), which Touch can never produce and
 // Audit must flag. It reports false when the policy is not Bit-PLRU.
 func CorruptBitPLRU(p Policy) bool {
+	if v, ok := p.(*setPolicyView); ok {
+		return corruptViewBitPLRU(v)
+	}
 	bp, ok := p.(*bitPLRU)
 	if !ok || len(bp.mru) == 0 {
 		return false

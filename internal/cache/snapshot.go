@@ -31,23 +31,27 @@ type Snapshot struct {
 	UsefulPrefetch uint64
 }
 
-// Snapshot captures the cache's complete state.
+// Snapshot captures the cache's complete state. The external layout is the
+// seed's nested [slice][set] shape, carved out of the flat arrays, so
+// snapshots from before and after the flattening are interchangeable.
 func (c *Cache) Snapshot() Snapshot {
 	snap := Snapshot{
-		Sets:           make([][]SetSnapshot, len(c.sets)),
+		Sets:           make([][]SetSnapshot, c.nslices),
 		Hits:           c.hits,
 		Misses:         c.misses,
 		PrefetchFills:  c.prefetchFills,
 		UsefulPrefetch: c.usefulPrefetch,
 	}
-	for si, slice := range c.sets {
-		snap.Sets[si] = make([]SetSnapshot, len(slice))
-		for i, s := range slice {
+	for si := range snap.Sets {
+		snap.Sets[si] = make([]SetSnapshot, c.nsets)
+		for i := range snap.Sets[si] {
+			g := si*int(c.nsets) + i
+			base := g * c.ways
 			snap.Sets[si][i] = SetSnapshot{
-				Lines:      append([]uint64(nil), s.lines...),
-				Valid:      append([]bool(nil), s.valid...),
-				Prefetched: append([]bool(nil), s.prefetched...),
-				Policy:     s.policy.Save(),
+				Lines:      append([]uint64(nil), c.lines[base:base+c.ways]...),
+				Valid:      append([]bool(nil), c.valid[base:base+c.ways]...),
+				Prefetched: append([]bool(nil), c.prefetched[base:base+c.ways]...),
+				Policy:     c.pol.save(g),
 			}
 		}
 	}
@@ -58,40 +62,63 @@ func (c *Cache) Snapshot() Snapshot {
 // geometry. State is adopted verbatim (no sanitisation), so a snapshot of a
 // corrupted cache restores as corrupted and Audit still flags it.
 func (c *Cache) Restore(snap Snapshot) error {
-	if len(snap.Sets) != len(c.sets) {
-		return fmt.Errorf("cache %q: snapshot has %d slices, cache has %d", c.cfg.Name, len(snap.Sets), len(c.sets))
+	if len(snap.Sets) != c.nslices {
+		return fmt.Errorf("cache %q: snapshot has %d slices, cache has %d", c.cfg.Name, len(snap.Sets), c.nslices)
 	}
-	for si, slice := range c.sets {
-		if len(snap.Sets[si]) != len(slice) {
-			return fmt.Errorf("cache %q: snapshot slice %d has %d sets, cache has %d", c.cfg.Name, si, len(snap.Sets[si]), len(slice))
+	for si := range snap.Sets {
+		if uint64(len(snap.Sets[si])) != c.nsets {
+			return fmt.Errorf("cache %q: snapshot slice %d has %d sets, cache has %d", c.cfg.Name, si, len(snap.Sets[si]), c.nsets)
 		}
-		for i, s := range slice {
+		for i := range snap.Sets[si] {
 			ss := snap.Sets[si][i]
-			if len(ss.Lines) != len(s.lines) {
-				return fmt.Errorf("cache %q: snapshot set %d/%d has %d ways, cache has %d", c.cfg.Name, si, i, len(ss.Lines), len(s.lines))
+			if len(ss.Lines) != c.ways {
+				return fmt.Errorf("cache %q: snapshot set %d/%d has %d ways, cache has %d", c.cfg.Name, si, i, len(ss.Lines), c.ways)
 			}
-			copy(s.lines, ss.Lines)
-			copy(s.valid, ss.Valid)
-			copy(s.prefetched, ss.Prefetched)
-			s.policy.Load(ss.Policy)
+			g := si*int(c.nsets) + i
+			base := g * c.ways
+			copy(c.lines[base:base+c.ways], ss.Lines)
+			copy(c.valid[base:base+c.ways], ss.Valid)
+			copy(c.prefetched[base:base+c.ways], ss.Prefetched)
+			c.pol.load(g, ss.Policy)
 		}
 	}
 	c.hits = snap.Hits
 	c.misses = snap.Misses
 	c.prefetchFills = snap.PrefetchFills
 	c.usefulPrefetch = snap.UsefulPrefetch
+	// The restored contents need not match the predictor's cached location
+	// (the snapshot may even be deliberately corrupted), so forget it.
+	c.predOK = false
+	// Rebuild the derived per-set valid counts from the adopted valid bits.
+	for g := range c.vcnt {
+		base := g * c.ways
+		n := int32(0)
+		for _, v := range c.valid[base : base+c.ways] {
+			if v {
+				n++
+			}
+		}
+		c.vcnt[g] = n
+	}
 	return nil
 }
 
 // StateHash folds the cache's complete state — contents, replacement state
-// and counters — into a stable 64-bit digest.
+// and counters — into a stable 64-bit digest. The fold order (set contents
+// then policy words, slice-major over sets) matches the seed implementation
+// word for word.
 func (c *Cache) StateHash() uint64 {
 	h := statehash.New()
 	h.Str(c.cfg.Name)
-	for _, slice := range c.sets {
-		for _, s := range slice {
-			h.U64s(s.lines).Bools(s.valid).Bools(s.prefetched).U64s(s.policy.Save())
-		}
+	gsets := c.nslices * int(c.nsets)
+	scratch := make([]uint64, 0, c.ways+2)
+	for g := 0; g < gsets; g++ {
+		base := g * c.ways
+		scratch = c.pol.saveInto(scratch[:0], g)
+		h.U64s(c.lines[base : base+c.ways]).
+			Bools(c.valid[base : base+c.ways]).
+			Bools(c.prefetched[base : base+c.ways]).
+			U64s(scratch)
 	}
 	h.U64(c.hits).U64(c.misses).U64(c.prefetchFills).U64(c.usefulPrefetch)
 	return h.Sum()
@@ -103,29 +130,30 @@ func (c *Cache) StateHash() uint64 {
 // returns every broken rule.
 func (c *Cache) Audit() []error {
 	var errs []error
-	for si, slice := range c.sets {
-		for i, s := range slice {
-			for w, valid := range s.valid {
-				if !valid {
-					continue
-				}
-				line := s.lines[w]
-				p := lineAddr(line, c.cfg.LineSize)
-				if got := c.SliceOf(p); got != si {
-					errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to slice %d", c.cfg.Name, si, i, w, line, got))
-				}
-				if got := c.SetOf(p); got != uint64(i) {
-					errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to set %d", c.cfg.Name, si, i, w, line, got))
-				}
-				for w2 := w + 1; w2 < len(s.valid); w2++ {
-					if s.valid[w2] && s.lines[w2] == line {
-						errs = append(errs, fmt.Errorf("cache %q: slice %d set %d holds line %#x in ways %d and %d", c.cfg.Name, si, i, line, w, w2))
-					}
+	gsets := c.nslices * int(c.nsets)
+	for g := 0; g < gsets; g++ {
+		si, i := g/int(c.nsets), g%int(c.nsets)
+		base := g * c.ways
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[base+w] {
+				continue
+			}
+			line := c.lines[base+w]
+			p := lineAddr(line, c.cfg.LineSize)
+			if got := c.SliceOf(p); got != si {
+				errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to slice %d", c.cfg.Name, si, i, w, line, got))
+			}
+			if got := c.SetOf(p); got != uint64(i) {
+				errs = append(errs, fmt.Errorf("cache %q: slice %d set %d way %d holds line %#x which maps to set %d", c.cfg.Name, si, i, w, line, got))
+			}
+			for w2 := w + 1; w2 < c.ways; w2++ {
+				if c.valid[base+w2] && c.lines[base+w2] == line {
+					errs = append(errs, fmt.Errorf("cache %q: slice %d set %d holds line %#x in ways %d and %d", c.cfg.Name, si, i, line, w, w2))
 				}
 			}
-			if err := s.policy.Audit(); err != nil {
-				errs = append(errs, fmt.Errorf("cache %q: slice %d set %d policy: %w", c.cfg.Name, si, i, err))
-			}
+		}
+		if err := c.pol.audit(g); err != nil {
+			errs = append(errs, fmt.Errorf("cache %q: slice %d set %d policy: %w", c.cfg.Name, si, i, err))
 		}
 	}
 	return errs
@@ -135,19 +163,16 @@ func (c *Cache) Audit() []error {
 // stopping early if fn returns false. Iteration order is slice-major and
 // deterministic.
 func (c *Cache) VisitLines(fn func(line uint64) bool) {
-	for _, slice := range c.sets {
-		for _, s := range slice {
-			for w, valid := range s.valid {
-				if valid && !fn(s.lines[w]) {
-					return
-				}
-			}
+	for i, v := range c.valid {
+		if v && !fn(c.lines[i]) {
+			return
 		}
 	}
 }
 
 // PolicyAt exposes the replacement policy of one set (slice-major indexing)
-// so fault injection can corrupt replacement state directly.
+// so fault injection can corrupt replacement state directly. The returned
+// view mutates the cache's flat policy engine in place.
 func (c *Cache) PolicyAt(slice int, set uint64) Policy {
-	return c.sets[slice][set].policy
+	return &setPolicyView{pa: c.pol, g: slice*int(c.nsets) + int(set)}
 }

@@ -148,10 +148,12 @@ func (s *Simulator) Run(records []trace.Record) Result {
 }
 
 func (s *Simulator) step(r trace.Record) {
-	cfg := s.cfg
-	// Non-memory instructions retire Width per cycle.
+	// Non-memory instructions retire Width per cycle. (Read the two scalar
+	// knobs directly — copying the whole nested Config per record is
+	// measurable at this call rate.)
+	width, mlp := s.cfg.Width, s.cfg.MLP
 	s.res.Instructions += uint64(r.Gap) + 1
-	s.res.Cycles += uint64((r.Gap + cfg.Width - 1) / cfg.Width)
+	s.res.Cycles += uint64((r.Gap + width - 1) / width)
 
 	pa := mem.PAddr(r.Addr) // traces use physical==virtual (ChampSim style)
 	tlbHit, walk := s.tlb.Lookup(0, mem.VAddr(r.Addr))
@@ -163,18 +165,18 @@ func (s *Simulator) step(r trace.Record) {
 	cost := lat + walk
 	if !r.Dependent && level != cache.LevelL1 {
 		// Independent misses overlap on an OOO core.
-		cost = cost/uint64(cfg.MLP) + 1
+		cost = cost/uint64(mlp) + 1
 	}
 	s.res.Cycles += cost
 
-	before := s.pref.IPStride.Stats().Prefetches
+	before := s.pref.IPStride.PrefetchCount()
 	reqs := s.pref.OnLoad(prefetcher.Access{
 		IP: r.IP, PA: pa, PID: 0, TLBHit: tlbHit, Level: level,
 	})
 	for _, q := range reqs {
 		s.mem.Prefetch(q.Target)
 	}
-	s.res.Prefetches += s.pref.IPStride.Stats().Prefetches - before
+	s.res.Prefetches += s.pref.IPStride.PrefetchCount() - before
 
 	if s.cfg.FlushIntervalCycles > 0 && s.res.Cycles >= s.nextFlush {
 		s.pref.IPStride.Flush()

@@ -1,0 +1,38 @@
+package champsim
+
+import (
+	"testing"
+
+	"afterimage/internal/trace"
+)
+
+// BenchmarkRunApp is the per-application unit of the §8.3 mitigation study:
+// one profile replayed three ways (base, mitigated, no-prefetch). It is one
+// of the pinned hot-path benchmarks tracked in BENCH_hotpath.json.
+func BenchmarkRunApp(b *testing.B) {
+	cfg := DefaultConfig()
+	prof := trace.SPECLike()[0] // libquantum-like: prefetch-sensitive
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunApp(cfg, prof, 20_000, 30_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures the steady-state per-record cost of the
+// trace replay loop with all prefetchers enabled.
+func BenchmarkSimulatorStep(b *testing.B) {
+	cfg := DefaultConfig()
+	records := trace.NewGenerator(trace.SPECLike()[0], 1).Generate(4096)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(records[i%len(records)])
+	}
+}

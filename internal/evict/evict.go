@@ -19,6 +19,10 @@ type Set struct {
 	Slice int
 	Index uint64
 	Lines []mem.VAddr
+
+	// order caches the zigzag visit order (derived from len(Lines) only),
+	// so the prime/probe hot loops do not rebuild it every call.
+	order []int
 }
 
 // Builder allocates a locked memory pool in the attacker's address space and
@@ -26,15 +30,14 @@ type Set struct {
 type Builder struct {
 	env  *sim.Env
 	pool *mem.Mapping
-	// byGroup indexes pool lines by (slice, set).
-	byGroup map[groupKey][]mem.VAddr
+	// groups indexes pool lines densely by global (slice, set) number
+	// (slice*nsets+set): classification and lookup are pure index arithmetic
+	// instead of a hashed map over a 128-bit key, which profiling showed
+	// dominated the whole Prime+Probe benchmark.
+	groups [][]mem.VAddr
+	nsets  uint64
 	primeIP uint64
 	probeIP uint64
-}
-
-type groupKey struct {
-	slice int
-	index uint64
 }
 
 // NewBuilder mmaps a locked pool of the given page count and pre-classifies
@@ -49,20 +52,37 @@ func NewBuilder(env *sim.Env, poolPages int, primeIP, probeIP uint64) (*Builder,
 	b := &Builder{
 		env:     env,
 		pool:    env.Mmap(uint64(poolPages)*mem.PageSize, mem.MapLocked),
-		byGroup: make(map[groupKey][]mem.VAddr),
 		primeIP: primeIP,
 		probeIP: probeIP,
 	}
 	llc := env.Machine().Mem.LLC
 	as := env.Process().AS
-	for off := uint64(0); off < b.pool.Length; off += mem.LineSize {
-		v := b.pool.Base + mem.VAddr(off)
-		pa, ok := as.Translate(v)
+	b.nsets = llc.NumSets()
+	ngroups := llc.NumSlices() * int(b.nsets)
+	// Two passes: count each group's population, carve one contiguous
+	// backing array into per-group sub-slices, then fill. Line order within
+	// a group (ascending pool offset) matches the old append order exactly.
+	counts := make([]int, ngroups)
+	gidx := make([]int32, b.pool.Length/mem.LineSize)
+	for off, li := uint64(0), 0; off < b.pool.Length; off, li = off+mem.LineSize, li+1 {
+		pa, ok := as.Translate(b.pool.Base + mem.VAddr(off))
 		if !ok {
 			return nil, fmt.Errorf("evict: pool page unexpectedly unmapped")
 		}
-		k := groupKey{slice: llc.SliceOf(pa), index: llc.SetOf(pa)}
-		b.byGroup[k] = append(b.byGroup[k], v)
+		g := llc.SliceOf(pa)*int(b.nsets) + int(llc.SetOf(pa))
+		gidx[li] = int32(g)
+		counts[g]++
+	}
+	backing := make([]mem.VAddr, b.pool.Length/mem.LineSize)
+	b.groups = make([][]mem.VAddr, ngroups)
+	next := 0
+	for g, n := range counts {
+		b.groups[g] = backing[next : next : next+n]
+		next += n
+	}
+	for off, li := uint64(0), 0; off < b.pool.Length; off, li = off+mem.LineSize, li+1 {
+		g := gidx[li]
+		b.groups[g] = append(b.groups[g], b.pool.Base+mem.VAddr(off))
 	}
 	return b, nil
 }
@@ -71,14 +91,14 @@ func NewBuilder(env *sim.Env, poolPages int, primeIP, probeIP uint64) (*Builder,
 // address pa (same LLC slice and set).
 func (b *Builder) ForAddress(pa mem.PAddr) (*Set, error) {
 	llc := b.env.Machine().Mem.LLC
-	k := groupKey{slice: llc.SliceOf(pa), index: llc.SetOf(pa)}
+	slice, index := llc.SliceOf(pa), llc.SetOf(pa)
 	ways := llc.Config().Ways
-	lines := b.byGroup[k]
+	lines := b.groups[slice*int(b.nsets)+int(index)]
 	if len(lines) < ways {
 		return nil, fmt.Errorf("evict: pool has %d/%d congruent lines for slice %d set %d; enlarge the pool",
-			len(lines), ways, k.slice, k.index)
+			len(lines), ways, slice, index)
 	}
-	return &Set{Slice: k.slice, Index: k.index, Lines: append([]mem.VAddr(nil), lines[:ways]...)}, nil
+	return &Set{Slice: slice, Index: index, Lines: append([]mem.VAddr(nil), lines[:ways]...)}, nil
 }
 
 // ForVictimPage builds one eviction set per cache line of the page holding
@@ -116,11 +136,20 @@ func zigzag(n int) []int {
 	return order
 }
 
+// zigzagOrder returns the set's cached zigzag visit order, rebuilding it if
+// the line count changed since it was computed.
+func (s *Set) zigzagOrder() []int {
+	if len(s.order) != len(s.Lines) {
+		s.order = zigzag(len(s.Lines))
+	}
+	return s.order
+}
+
 // Prime loads every line of the set, filling the monitored LLC set with
 // attacker data. Lines are touched twice in zigzag order so the whole set
 // survives its own insertion churn without training the prefetcher.
 func (s *Set) Prime(env *sim.Env) {
-	order := zigzag(len(s.Lines))
+	order := s.zigzagOrder()
 	for _, i := range order {
 		env.Load(ipFor(s, 0), s.Lines[i])
 	}
@@ -134,7 +163,7 @@ func (s *Set) Prime(env *sim.Env) {
 // i.e. the victim touched this set.
 func (s *Set) Probe(env *sim.Env) uint64 {
 	var total uint64
-	for _, i := range zigzag(len(s.Lines)) {
+	for _, i := range s.zigzagOrder() {
 		total += env.TimeLoad(ipFor(s, 2), s.Lines[i])
 	}
 	return total

@@ -112,6 +112,105 @@ func (m *Mapping) End() VAddr { return m.Base + VAddr(m.Length) }
 // Frames exposes the physical frame of each page (for tests and shared maps).
 func (m *Mapping) Frames() []uint64 { return m.frames }
 
+// ptChunkShift sizes the radix page-table leaves: 512 translations per
+// leaf, so one leaf spans 2 MiB of virtual address space.
+const (
+	ptChunkShift = 9
+	ptChunkSize  = 1 << ptChunkShift
+	ptChunkMask  = ptChunkSize - 1
+	// ptMaxDirSpan caps the directory at 2^21 chunks (4 TiB of coverage,
+	// a 16 MiB pointer slice worst case). VPNs farther from the anchor than
+	// that — kernel-half addresses, top-of-address-space probes — fall into
+	// the overflow map instead of ballooning the directory.
+	ptMaxDirSpan = 1 << 21
+)
+
+// pageTable is a two-level radix VPN→PFN map replacing the flat Go map on
+// the translation hot path: chunk directory → leaf array, anchored at the
+// first chunk installed (user mappings cluster around the mmap base, so the
+// directory stays small and dense). Leaf entries store PFN+1 so zero means
+// unmapped; unallocated leaves stay nil. A lookup is two array indexes —
+// no hashing, no per-access allocation.
+type pageTable struct {
+	baseChunk uint64     // chunk index covered by dir[0]
+	dir       [][]uint64 // leaf per chunk; entry = PFN+1, 0 = unmapped
+	overflow  map[uint64]uint64 // VPN -> PFN outside directory coverage
+}
+
+// lookup resolves one VPN. Directory coverage can grow after an entry
+// landed in overflow, so a directory miss still consults the overflow map
+// (a nil check in the common case).
+func (pt *pageTable) lookup(vpn uint64) (uint64, bool) {
+	c := vpn >> ptChunkShift
+	if c >= pt.baseChunk {
+		if i := c - pt.baseChunk; i < uint64(len(pt.dir)) {
+			if leaf := pt.dir[i]; leaf != nil {
+				if e := leaf[vpn&ptChunkMask]; e != 0 {
+					return e - 1, true
+				}
+			}
+		}
+	}
+	if pt.overflow != nil {
+		pfn, ok := pt.overflow[vpn]
+		return pfn, ok
+	}
+	return 0, false
+}
+
+// set installs one translation, growing the directory (with doubling
+// headroom — installs walk monotonically increasing bases) or spilling to
+// the overflow map when the VPN is too far from the anchor.
+func (pt *pageTable) set(vpn, pfn uint64) {
+	c := vpn >> ptChunkShift
+	if pt.dir == nil {
+		pt.baseChunk = c
+		pt.dir = make([][]uint64, 1)
+	}
+	lo, hi := pt.baseChunk, pt.baseChunk+uint64(len(pt.dir))
+	switch {
+	case c < lo:
+		span := hi - c
+		if span > ptMaxDirSpan {
+			pt.setOverflow(vpn, pfn)
+			return
+		}
+		if grow := 2 * uint64(len(pt.dir)); span < grow && grow <= hi && grow <= ptMaxDirSpan {
+			span = grow
+		}
+		ndir := make([][]uint64, span)
+		copy(ndir[span-uint64(len(pt.dir)):], pt.dir)
+		pt.dir = ndir
+		pt.baseChunk = hi - span
+	case c >= hi:
+		span := c - lo + 1
+		if span > ptMaxDirSpan {
+			pt.setOverflow(vpn, pfn)
+			return
+		}
+		if grow := 2 * uint64(len(pt.dir)); span < grow && grow <= ptMaxDirSpan {
+			span = grow
+		}
+		ndir := make([][]uint64, span)
+		copy(ndir, pt.dir)
+		pt.dir = ndir
+	}
+	i := c - pt.baseChunk
+	leaf := pt.dir[i]
+	if leaf == nil {
+		leaf = make([]uint64, ptChunkSize)
+		pt.dir[i] = leaf
+	}
+	leaf[vpn&ptChunkMask] = pfn + 1
+}
+
+func (pt *pageTable) setOverflow(vpn, pfn uint64) {
+	if pt.overflow == nil {
+		pt.overflow = make(map[uint64]uint64)
+	}
+	pt.overflow[vpn] = pfn
+}
+
 // AddressSpace is one process's (or the kernel's) virtual address space.
 type AddressSpace struct {
 	// ID is a unique address-space identifier (the PCID/ASID used to tag
@@ -119,7 +218,7 @@ type AddressSpace struct {
 	ID       uint64
 	Name     string
 	phys     *PhysMemory
-	pages    map[uint64]uint64 // VPN -> PFN
+	pages    pageTable // VPN -> PFN radix table
 	mappings []*Mapping
 	nextBase VAddr
 	aslr     *rand.Rand // nil disables ASLR
@@ -138,7 +237,6 @@ func NewAddressSpace(name string, phys *PhysMemory, aslrSeed int64) *AddressSpac
 		ID:       nextASID.Add(1),
 		Name:     name,
 		phys:     phys,
-		pages:    make(map[uint64]uint64),
 		nextBase: VAddr(0x5555_0000_0000),
 	}
 	if aslrSeed != 0 {
@@ -215,7 +313,7 @@ func (as *AddressSpace) MapExisting(src *Mapping) *Mapping {
 func (as *AddressSpace) install(m *Mapping) {
 	vpn := m.Base.PageNumber()
 	for i, f := range m.frames {
-		as.pages[vpn+uint64(i)] = f
+		as.pages.set(vpn+uint64(i), f)
 	}
 	as.mappings = append(as.mappings, m)
 }
@@ -223,7 +321,7 @@ func (as *AddressSpace) install(m *Mapping) {
 // Translate resolves a virtual address to a physical one. The boolean is
 // false when the address is unmapped.
 func (as *AddressSpace) Translate(v VAddr) (PAddr, bool) {
-	pfn, ok := as.pages[v.PageNumber()]
+	pfn, ok := as.pages.lookup(v.PageNumber())
 	if !ok {
 		return 0, false
 	}

@@ -1,0 +1,160 @@
+package mem
+
+import "testing"
+
+// Boundary tests for the two-level radix page table, table-driven over the
+// install sequences that stress the anchor, the doubling growth in both
+// directions, the directory span cap and the overflow spill.
+func TestPageTableBoundaries(t *testing.T) {
+	const topVPN = (1 << 52) - 1 // highest VPN of a 64-bit byte address
+
+	type install struct{ vpn, pfn uint64 }
+	type probe struct {
+		vpn    uint64
+		pfn    uint64
+		mapped bool
+	}
+	cases := []struct {
+		name     string
+		installs []install
+		probes   []probe
+	}{
+		{
+			name:     "vpn zero",
+			installs: []install{{0, 7}},
+			probes:   []probe{{0, 7, true}, {1, 0, false}},
+		},
+		{
+			name:     "pfn zero is a valid mapping",
+			installs: []install{{12, 0}},
+			probes:   []probe{{12, 0, true}, {13, 0, false}},
+		},
+		{
+			name:     "top of address space",
+			installs: []install{{topVPN, 42}},
+			probes:   []probe{{topVPN, 42, true}, {topVPN - 1, 0, false}},
+		},
+		{
+			name:     "vpn zero and top of address space coexist via overflow",
+			installs: []install{{0, 1}, {topVPN, 2}},
+			probes:   []probe{{0, 1, true}, {topVPN, 2, true}, {topVPN >> 1, 0, false}},
+		},
+		{
+			name:     "anchor high then grow down to vpn zero",
+			installs: []install{{5 * ptChunkSize, 3}, {0, 4}},
+			probes:   []probe{{5 * ptChunkSize, 3, true}, {0, 4, true}, {ptChunkSize, 0, false}},
+		},
+		{
+			name: "grow up across chunks",
+			installs: []install{
+				{0, 1}, {ptChunkSize, 2}, {7 * ptChunkSize, 3}, {20 * ptChunkSize, 4},
+			},
+			probes: []probe{
+				{0, 1, true}, {ptChunkSize, 2, true},
+				{7 * ptChunkSize, 3, true}, {20 * ptChunkSize, 4, true},
+				{13 * ptChunkSize, 0, false},
+			},
+		},
+		{
+			name: "overwrite keeps the latest translation",
+			installs: []install{
+				{100, 1}, {100, 9},
+			},
+			probes: []probe{{100, 9, true}},
+		},
+		{
+			name: "beyond the span cap spills to overflow and stays reachable",
+			installs: []install{
+				{3_000_000 * ptChunkSize, 1},  // anchor
+				{500_000 * ptChunkSize, 2},    // 2.5M chunks below: over the 2^21 cap
+				{1_000_000 * ptChunkSize, 3},  // within cap: directory grows down
+				{2_999_999 * ptChunkSize, 4},  // dense neighbour of the anchor
+				{10_000_000 * ptChunkSize, 5}, // far above: overflow again
+			},
+			probes: []probe{
+				{3_000_000 * ptChunkSize, 1, true},
+				{500_000 * ptChunkSize, 2, true},
+				{1_000_000 * ptChunkSize, 3, true},
+				{2_999_999 * ptChunkSize, 4, true},
+				{10_000_000 * ptChunkSize, 5, true},
+				{2_000_000 * ptChunkSize, 0, false}, // covered chunk, nil leaf
+				{600_000 * ptChunkSize, 0, false},   // uncovered, not in overflow
+			},
+		},
+		{
+			name: "leaf-internal neighbours stay independent",
+			installs: []install{
+				{ptChunkSize - 1, 11}, {ptChunkSize, 12},
+			},
+			probes: []probe{
+				{ptChunkSize - 1, 11, true},
+				{ptChunkSize, 12, true},
+				{ptChunkSize - 2, 0, false},
+				{ptChunkSize + 1, 0, false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var pt pageTable
+			for _, in := range tc.installs {
+				pt.set(in.vpn, in.pfn)
+			}
+			for _, pr := range tc.probes {
+				pfn, ok := pt.lookup(pr.vpn)
+				if ok != pr.mapped {
+					t.Fatalf("lookup(%#x): mapped=%v, want %v", pr.vpn, ok, pr.mapped)
+				}
+				if ok && pfn != pr.pfn {
+					t.Fatalf("lookup(%#x) = pfn %d, want %d", pr.vpn, pfn, pr.pfn)
+				}
+			}
+		})
+	}
+}
+
+// TestPageTableEmptyLookup covers the zero-value table: no directory, no
+// overflow, nothing resolves.
+func TestPageTableEmptyLookup(t *testing.T) {
+	var pt pageTable
+	for _, vpn := range []uint64{0, 1, 1 << 30, (1 << 52) - 1} {
+		if _, ok := pt.lookup(vpn); ok {
+			t.Fatalf("empty table resolved vpn %#x", vpn)
+		}
+	}
+}
+
+// TestASLRAliasesTranslateToSameFrames pins the behaviour §5.2 relies on:
+// the same shared mapping lands at different virtual bases in two ASLR-ed
+// address spaces (page-aligned slide, low 12 bits intact), and every aliased
+// page still translates to the identical physical frame through both radix
+// tables.
+func TestASLRAliasesTranslateToSamePhysical(t *testing.T) {
+	phys := NewPhysMemory(64 << 20)
+	as1 := NewAddressSpace("a", phys, 1234)
+	as2 := NewAddressSpace("b", phys, 9876)
+
+	src := as1.MustMmap(8*PageSize, MapShared)
+	dst := as2.MapExisting(src)
+
+	if src.Base == dst.Base {
+		t.Fatalf("ASLR produced identical bases %#x", uint64(src.Base))
+	}
+	if src.Base.PageOffset() != 0 || dst.Base.PageOffset() != 0 {
+		t.Fatalf("ASLR slide is not page-aligned: bases %#x / %#x", uint64(src.Base), uint64(dst.Base))
+	}
+	for page := uint64(0); page < 8; page++ {
+		off := VAddr(page*PageSize + 0x123)
+		p1, ok1 := as1.Translate(src.Base + off)
+		p2, ok2 := as2.Translate(dst.Base + off)
+		if !ok1 || !ok2 {
+			t.Fatalf("page %d: translation failed (%v/%v)", page, ok1, ok2)
+		}
+		if p1 != p2 {
+			t.Fatalf("page %d: aliases map to different frames %#x vs %#x", page, uint64(p1), uint64(p2))
+		}
+		if got := uint64(p1) & (PageSize - 1); got != 0x123 {
+			t.Fatalf("page %d: low bits not preserved: %#x", page, got)
+		}
+	}
+}

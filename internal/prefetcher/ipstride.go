@@ -153,6 +153,11 @@ func (p *IPStride) Config() IPStrideConfig { return p.cfg }
 // stay stable; both views sample the same counters and always agree.
 func (p *IPStride) Stats() Stats { return p.stats }
 
+// PrefetchCount returns just the issued-prefetch counter, without copying the
+// whole Stats struct — the per-step accounting in hot simulation loops reads
+// this twice per record.
+func (p *IPStride) PrefetchCount() uint64 { return p.stats.Prefetches }
+
 // ResetStats clears every activity counter.
 func (p *IPStride) ResetStats() { p.stats = Stats{} }
 
@@ -289,6 +294,14 @@ func truncStride(d, max int64) int64 {
 // mismatch re-learns stride and confidence, which is §4.3's "invalidate the
 // entry and re-learn" as observed from software.
 func (p *IPStride) OnLoad(a Access) []Request {
+	return p.AppendOnLoad(a, nil)
+}
+
+// AppendOnLoad is OnLoad in append style: the whole table update — lookup,
+// first-touch gate, train-or-allocate, trigger — runs as one straight-line
+// function and any issued request is appended to reqs, so a caller reusing
+// its buffer pays zero allocations in steady state.
+func (p *IPStride) AppendOnLoad(a Access, reqs []Request) []Request {
 	p.stats.Lookups++
 
 	idx := p.lookup(a.IP, a.PID)
@@ -302,13 +315,13 @@ func (p *IPStride) OnLoad(a Access) []Request {
 		}
 		if !assisted {
 			p.stats.TLBSkips++
-			return nil
+			return reqs
 		}
 	}
 
 	if idx < 0 {
 		p.allocate(a)
-		return nil
+		return reqs
 	}
 	e := &p.entries[idx]
 	p.policy.Touch(idx)
@@ -316,7 +329,6 @@ func (p *IPStride) OnLoad(a Access) []Request {
 
 	distance := int64(a.PA) - int64(e.LastAddr)
 	prevConf := e.Confidence
-	var reqs []Request
 
 	if e.Confidence >= p.cfg.TriggerThreshold {
 		// Key component (§4.2): with saturated confidence the prefetch of

@@ -18,22 +18,25 @@ type DCU struct {
 }
 
 // OnLoad observes one demand load and returns at most one next-line request.
-func (d *DCU) OnLoad(a Access) []Request {
+func (d *DCU) OnLoad(a Access) []Request { return d.AppendOnLoad(a, nil) }
+
+// AppendOnLoad is OnLoad in append style (see Suite.OnLoad).
+func (d *DCU) AppendOnLoad(a Access, reqs []Request) []Request {
 	if !d.Enabled {
-		return nil
+		return reqs
 	}
 	line := a.PA.Line()
 	trigger := d.seen && line == d.lastLine+1
 	d.lastLine, d.seen = line, true
 	if !trigger {
-		return nil
+		return reqs
 	}
 	target := mem.PAddr((line + 1) * mem.LineSize)
 	if !samePage(a.PA, target) {
-		return nil
+		return reqs
 	}
 	d.stats++
-	return []Request{{Target: target, Source: "dcu"}}
+	return append(reqs, Request{Target: target, Source: "dcu"})
 }
 
 // Issued reports how many prefetches the DCU has emitted.
@@ -57,24 +60,27 @@ type DPL struct {
 }
 
 // OnLoad emits the pair line on a streaming demand miss (any level beyond L1).
-func (d *DPL) OnLoad(a Access) []Request {
+func (d *DPL) OnLoad(a Access) []Request { return d.AppendOnLoad(a, nil) }
+
+// AppendOnLoad is OnLoad in append style (see Suite.OnLoad).
+func (d *DPL) AppendOnLoad(a Access, reqs []Request) []Request {
 	if !d.Enabled || a.Level == cache.LevelL1 {
-		return nil
+		return reqs
 	}
 	line := a.PA.Line()
 	block := line >> 1
 	trigger := d.seen && diffAbs(block, d.lastMiss) <= 1
 	d.lastMiss, d.seen = block, true
 	if !trigger {
-		return nil
+		return reqs
 	}
 	pair := line ^ 1 // buddy within the 128-byte block
 	target := mem.PAddr(pair * mem.LineSize)
 	if !samePage(a.PA, target) {
-		return nil
+		return reqs
 	}
 	d.stats++
-	return []Request{{Target: target, Source: "dpl"}}
+	return append(reqs, Request{Target: target, Source: "dpl"})
 }
 
 // Reset clears the miss-stream state.
@@ -119,16 +125,19 @@ func NewStreamer(degree int) *Streamer {
 
 // OnLoad observes one load; consecutive same-direction accesses within a
 // page trigger Degree prefetches ahead.
-func (s *Streamer) OnLoad(a Access) []Request {
+func (s *Streamer) OnLoad(a Access) []Request { return s.AppendOnLoad(a, nil) }
+
+// AppendOnLoad is OnLoad in append style (see Suite.OnLoad).
+func (s *Streamer) AppendOnLoad(a Access, reqs []Request) []Request {
 	if !s.Enabled {
-		return nil
+		return reqs
 	}
 	frame := a.PA.Frame()
 	line := a.PA.Line()
 	e := s.entryFor(frame)
 	if !e.valid || e.frame != frame {
 		*e = streamEntry{frame: frame, lastLine: line, valid: true}
-		return nil
+		return reqs
 	}
 	var dir int
 	switch {
@@ -137,7 +146,7 @@ func (s *Streamer) OnLoad(a Access) []Request {
 	case line < e.lastLine:
 		dir = -1
 	default:
-		return nil
+		return reqs
 	}
 	// A stream means same-direction, near-sequential progress: the hardware
 	// does not chase large or erratic jumps (which is also why the attacks
@@ -147,9 +156,8 @@ func (s *Streamer) OnLoad(a Access) []Request {
 	e.dir = dir
 	e.lastLine = line
 	if !trigger {
-		return nil
+		return reqs
 	}
-	var reqs []Request
 	for i := 1; i <= s.Degree; i++ {
 		t := int64(line) + int64(dir*i)
 		if t < 0 {
@@ -187,6 +195,11 @@ type Suite struct {
 	DCU      *DCU
 	DPL      *DPL
 	Streamer *Streamer
+
+	// scratch is the reusable request buffer behind OnLoad: at most a
+	// handful of requests per access, so after the first few calls the whole
+	// suite runs allocation-free.
+	scratch []Request
 }
 
 // NewSuite builds a suite with the default IP-stride configuration. The
@@ -201,13 +214,17 @@ func NewSuite() *Suite {
 }
 
 // OnLoad feeds the access to every enabled prefetcher and concatenates the
-// requests.
+// requests. The returned slice aliases the suite's internal scratch buffer
+// and is only valid until the next OnLoad call; every caller consumes the
+// requests immediately, and the reuse is what keeps the steady-state load
+// path at zero allocations.
 func (s *Suite) OnLoad(a Access) []Request {
-	var reqs []Request
-	reqs = append(reqs, s.IPStride.OnLoad(a)...)
-	reqs = append(reqs, s.DCU.OnLoad(a)...)
-	reqs = append(reqs, s.DPL.OnLoad(a)...)
-	reqs = append(reqs, s.Streamer.OnLoad(a)...)
+	reqs := s.scratch[:0]
+	reqs = s.IPStride.AppendOnLoad(a, reqs)
+	reqs = s.DCU.AppendOnLoad(a, reqs)
+	reqs = s.DPL.AppendOnLoad(a, reqs)
+	reqs = s.Streamer.AppendOnLoad(a, reqs)
+	s.scratch = reqs
 	return reqs
 }
 

@@ -1,0 +1,390 @@
+package prefetcher
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"afterimage/internal/cache"
+	"afterimage/internal/mem"
+)
+
+// This file checks the IP-stride implementation against an independent,
+// spec-level oracle of the paper's Algorithm 1, on randomized load streams.
+// The oracle is written straight from the prose spec — 24 fully-associative
+// entries, low-8-bit IP index, 2-bit confidence with threshold 2, 13-bit
+// signed stride, Bit-PLRU replacement, 4 KiB frame containment, first-touch
+// TLB rule with the next-page assist — sharing no code with the production
+// table. A divergence is shrunk to a minimal trace and written under
+// testdata/ for replay; any counterexample files already there run first as
+// regression cases.
+
+const (
+	oracleEntries   = 24
+	oracleIndexMask = 0xff // low 8 IP bits
+	oracleMaxConf   = 3    // 2-bit saturating counter
+	oracleThreshold = 2
+	oracleMaxStride = 2048 // |stride| < 2 KiB (13-bit signed field)
+	oracleFrameSize = 4096
+)
+
+// oracleAccess is one load of a property trace, JSON-encodable so shrunk
+// counterexamples can be stored and replayed.
+type oracleAccess struct {
+	IP      uint64 `json:"ip"`
+	Addr    uint64 `json:"addr"`
+	TLBMiss bool   `json:"tlbMiss,omitempty"`
+}
+
+type oracleEntry struct {
+	valid  bool
+	tag    uint64
+	last   uint64
+	stride int64
+	conf   int
+}
+
+// oracle is the reference model. State is a fixed-size value type; the
+// Bit-PLRU bits are tracked inline.
+type oracle struct {
+	e    [oracleEntries]oracleEntry
+	mru  [oracleEntries]bool
+	ones int
+}
+
+func (o *oracle) plruTouch(i int) {
+	if !o.mru[i] {
+		o.mru[i] = true
+		o.ones++
+	}
+	if o.ones == oracleEntries {
+		o.mru = [oracleEntries]bool{}
+		o.mru[i] = true
+		o.ones = 1
+	}
+}
+
+func (o *oracle) plruVictim() int {
+	for i, b := range o.mru {
+		if !b {
+			return i
+		}
+	}
+	return 0
+}
+
+func oracleFrame(a uint64) uint64 { return a / oracleFrameSize }
+
+// trunc13 wraps a distance into the 13-bit signed stride field, the
+// (-2048, 2048) range of §4.2.
+func trunc13(d int64) int64 {
+	d %= 2 * oracleMaxStride
+	if d >= oracleMaxStride {
+		d -= 2 * oracleMaxStride
+	} else if d < -oracleMaxStride {
+		d += 2 * oracleMaxStride
+	}
+	return d
+}
+
+// step runs Algorithm 1 for one load and returns the prefetch target, if one
+// fires (the IP-stride prefetcher issues at most one request per load).
+func (o *oracle) step(a oracleAccess) (uint64, bool) {
+	idx := -1
+	tag := a.IP & oracleIndexMask
+	for i := range o.e {
+		if o.e[i].valid && o.e[i].tag == tag {
+			idx = i
+			break
+		}
+	}
+
+	// First-touch rule (§4.3): a TLB-missing load installs its translation
+	// and skips the prefetcher — unless the next-page assist recognises the
+	// successor frame of a trained entry.
+	if a.TLBMiss {
+		assisted := idx >= 0 &&
+			oracleFrame(a.Addr) == oracleFrame(o.e[idx].last)+1 &&
+			o.e[idx].conf >= oracleThreshold
+		if !assisted {
+			return 0, false
+		}
+	}
+
+	if idx < 0 {
+		// Allocate (Algorithm 1 line 24): first free slot, else Bit-PLRU victim.
+		slot := -1
+		for i := range o.e {
+			if !o.e[i].valid {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			slot = o.plruVictim()
+		}
+		o.e[slot] = oracleEntry{valid: true, tag: tag, last: a.Addr}
+		o.plruTouch(slot)
+		return 0, false
+	}
+
+	e := &o.e[idx]
+	o.plruTouch(idx)
+	d := int64(a.Addr) - int64(e.last)
+
+	var target uint64
+	fired := false
+	fire := func(base uint64, stride int64) {
+		// §4.3 containment: never cross the trigger's 4 KiB frame; a zero
+		// stride never fires.
+		if stride == 0 {
+			return
+		}
+		t := uint64(int64(base) + stride)
+		if oracleFrame(t) != oracleFrame(base) {
+			return
+		}
+		target, fired = t, true
+	}
+
+	if e.conf >= oracleThreshold {
+		// Key component (§4.2): saturated confidence fires current+stride
+		// before the stride comparison.
+		fire(a.Addr, e.stride)
+		if d != e.stride {
+			e.stride = trunc13(d)
+			e.conf = 1
+		} else if e.conf < oracleMaxConf {
+			e.conf++
+		}
+	} else {
+		if d != e.stride {
+			e.stride = trunc13(d)
+			e.conf = 1
+		} else {
+			e.conf++
+			if e.conf == oracleThreshold {
+				fire(a.Addr, e.stride)
+			}
+		}
+	}
+	e.last = a.Addr
+	return target, fired
+}
+
+// runTrace replays a trace through a fresh production prefetcher and a fresh
+// oracle, returning the index of the first diverging step and a description,
+// or -1 when they agree end to end. Divergence covers both the issued
+// requests and the full history-table state after every step.
+func runTrace(trace []oracleAccess) (int, string) {
+	p := NewIPStride(DefaultIPStrideConfig())
+	var o oracle
+	var reqs []Request
+	for i, a := range trace {
+		reqs = p.AppendOnLoad(Access{
+			IP: a.IP, PA: mem.PAddr(a.Addr), TLBHit: !a.TLBMiss,
+			Level: cache.LevelDRAM,
+		}, reqs[:0])
+		wantT, wantFired := o.step(a)
+		if len(reqs) > 1 {
+			return i, fmt.Sprintf("impl issued %d requests (max is 1)", len(reqs))
+		}
+		gotFired := len(reqs) == 1
+		if gotFired != wantFired {
+			return i, fmt.Sprintf("impl fired=%v, oracle fired=%v", gotFired, wantFired)
+		}
+		if gotFired && uint64(reqs[0].Target) != wantT {
+			return i, fmt.Sprintf("impl target %#x, oracle target %#x", uint64(reqs[0].Target), wantT)
+		}
+		if diff := diffTables(p, &o); diff != "" {
+			return i, "table divergence: " + diff
+		}
+	}
+	return -1, ""
+}
+
+func diffTables(p *IPStride, o *oracle) string {
+	got := p.Entries()
+	for i := range o.e {
+		w := o.e[i]
+		g := got[i]
+		if g.Valid != w.valid {
+			return fmt.Sprintf("slot %d valid: impl %v oracle %v", i, g.Valid, w.valid)
+		}
+		if !w.valid {
+			continue
+		}
+		if g.Tag != w.tag || uint64(g.LastAddr) != w.last || g.Stride != w.stride || g.Confidence != w.conf {
+			return fmt.Sprintf("slot %d: impl {tag:%#x last:%#x stride:%d conf:%d} oracle {tag:%#x last:%#x stride:%d conf:%d}",
+				i, g.Tag, uint64(g.LastAddr), g.Stride, g.Confidence, w.tag, w.last, w.stride, w.conf)
+		}
+	}
+	return ""
+}
+
+// genTrace builds a randomized load stream biased toward the interesting
+// regimes: colliding 8-bit tags, per-IP stride walks, stride breaks, page
+// crossings and TLB misses.
+func genTrace(rng *rand.Rand, n int) []oracleAccess {
+	// A small IP pool with deliberate 8-bit aliases (same low byte, different
+	// upper bits) plus enough distinct tags to force Bit-PLRU evictions.
+	ips := make([]uint64, 0, 32)
+	for i := 0; i < 28; i++ {
+		ips = append(ips, 0x400000+uint64(i)*0x11)
+	}
+	ips = append(ips, 0x400000+0x100, 0x400000+0x11+0x300) // tag aliases
+	cursor := make(map[uint64]uint64, len(ips))
+	trace := make([]oracleAccess, n)
+	for i := range trace {
+		ip := ips[rng.Intn(len(ips))]
+		cur, ok := cursor[ip]
+		switch {
+		case !ok || rng.Intn(10) == 0:
+			// (Re)seed the walk somewhere random, occasionally near a frame
+			// edge so strides cross pages.
+			cur = uint64(rng.Intn(1<<24))*8 + uint64(rng.Intn(oracleFrameSize))
+			if rng.Intn(3) == 0 {
+				cur = (cur &^ (oracleFrameSize - 1)) + oracleFrameSize - uint64(rng.Intn(256))
+			}
+		case rng.Intn(6) == 0:
+			// Break the stride with a random jump, sometimes beyond the
+			// 13-bit field to exercise truncation.
+			cur = uint64(int64(cur) + int64(rng.Intn(16384)-8192))
+		default:
+			// Continue a stride walk; strides cluster under 2 KiB with some
+			// negatives.
+			stride := int64(rng.Intn(512)*8 - 1024)
+			cur = uint64(int64(cur) + stride)
+		}
+		cursor[ip] = cur
+		trace[i] = oracleAccess{IP: ip, Addr: cur, TLBMiss: rng.Intn(12) == 0}
+	}
+	return trace
+}
+
+// shrinkTrace minimises a failing trace with delta debugging (chunk removal
+// down to single elements), keeping any failure — not necessarily the
+// original divergence — so the result is a minimal counterexample.
+func shrinkTrace(trace []oracleAccess) []oracleAccess {
+	fails := func(t []oracleAccess) bool {
+		i, _ := runTrace(t)
+		return i >= 0
+	}
+	cur := trace
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(cur); {
+			cand := make([]oracleAccess, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand = append(cand, cur[end:]...)
+			if fails(cand) {
+				cur = cand
+				removedAny = true
+			} else {
+				start += chunk
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+const counterexampleDir = "testdata/ipstride_counterexamples"
+
+// TestIPStrideMatchesAlgorithm1Oracle is the property test: randomized
+// streams across many seeds, with failures shrunk and persisted.
+func TestIPStrideMatchesAlgorithm1Oracle(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(1800)
+		trace := genTrace(rng, n)
+		step, desc := runTrace(trace)
+		if step < 0 {
+			continue
+		}
+		min := shrinkTrace(trace)
+		minStep, minDesc := runTrace(min)
+		path := saveCounterexample(t, min, seed)
+		t.Fatalf("seed %d: impl diverges from Algorithm 1 oracle at step %d (%s); shrunk to %d accesses diverging at step %d (%s), saved to %s",
+			seed, step, desc, len(min), minStep, minDesc, path)
+	}
+}
+
+func saveCounterexample(t *testing.T, trace []oracleAccess, seed int64) string {
+	t.Helper()
+	if err := os.MkdirAll(counterexampleDir, 0o755); err != nil {
+		t.Logf("cannot create %s: %v", counterexampleDir, err)
+		return "(unsaved)"
+	}
+	path := filepath.Join(counterexampleDir, fmt.Sprintf("seed%d.json", seed))
+	data, err := json.MarshalIndent(trace, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		t.Logf("cannot save counterexample: %v", err)
+		return "(unsaved)"
+	}
+	return path
+}
+
+// TestIPStrideCounterexampleRegressions replays every stored (previously
+// shrunk) counterexample, so a fixed divergence stays fixed.
+func TestIPStrideCounterexampleRegressions(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(counterexampleDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no stored counterexamples")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var trace []oracleAccess
+			if err := json.Unmarshal(data, &trace); err != nil {
+				t.Fatal(err)
+			}
+			if step, desc := runTrace(trace); step >= 0 {
+				t.Fatalf("stored counterexample still diverges at step %d: %s", step, desc)
+			}
+		})
+	}
+}
+
+// TestOracleSelfCheck pins the oracle itself on the paper's canonical
+// training sequence (Figure 7): three loads at a constant stride train the
+// entry to the threshold and the third fires current+stride; a fourth load
+// at the same stride keeps firing.
+func TestOracleSelfCheck(t *testing.T) {
+	var o oracle
+	base := uint64(0x1000)
+	const stride = 0x40
+	if _, fired := o.step(oracleAccess{IP: 0x400080, Addr: base}); fired {
+		t.Fatal("fired on allocation")
+	}
+	if _, fired := o.step(oracleAccess{IP: 0x400080, Addr: base + stride}); fired {
+		t.Fatal("fired at confidence 1")
+	}
+	target, fired := o.step(oracleAccess{IP: 0x400080, Addr: base + 2*stride})
+	if !fired || target != base+3*stride {
+		t.Fatalf("third access: fired=%v target=%#x, want %#x", fired, target, base+3*stride)
+	}
+	target, fired = o.step(oracleAccess{IP: 0x400080, Addr: base + 3*stride})
+	if !fired || target != base+4*stride {
+		t.Fatalf("fourth access: fired=%v target=%#x, want %#x", fired, target, base+4*stride)
+	}
+}

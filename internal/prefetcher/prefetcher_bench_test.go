@@ -8,24 +8,31 @@ import (
 
 func BenchmarkIPStrideOnLoadStrided(b *testing.B) {
 	p := NewIPStride(DefaultIPStrideConfig())
+	reqs := make([]Request, 0, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pa := uint64(0x10000 + (i%8)*7*64)
-		p.OnLoad(Access{IP: 0x42, PA: mem.PAddr(pa), PID: 1, TLBHit: true})
+		reqs = p.AppendOnLoad(Access{IP: 0x42, PA: mem.PAddr(pa), PID: 1, TLBHit: true}, reqs[:0])
 	}
+	_ = reqs
 }
 
 func BenchmarkIPStrideOnLoadThrash(b *testing.B) {
 	p := NewIPStride(DefaultIPStrideConfig())
+	reqs := make([]Request, 0, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.OnLoad(Access{IP: uint64(i % 256), PA: mem.PAddr(uint64(i) * 64), PID: 1, TLBHit: true})
+		reqs = p.AppendOnLoad(Access{IP: uint64(i % 256), PA: mem.PAddr(uint64(i) * 64), PID: 1, TLBHit: true}, reqs[:0])
 	}
+	_ = reqs
 }
 
 func BenchmarkSuiteOnLoad(b *testing.B) {
 	s := NewSuite()
 	s.DCU.Enabled, s.DPL.Enabled, s.Streamer.Enabled = true, true, true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.OnLoad(Access{IP: uint64(i % 64), PA: mem.PAddr(uint64(i%4096) * 64), PID: 1, TLBHit: true})

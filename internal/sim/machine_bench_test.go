@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+// benchMachine builds a quiet Coffee Lake machine with a warmed 16-page
+// buffer: the steady-state configuration of the attack hot loops.
+func benchMachine(b *testing.B) (*Machine, *Env, *mem.Mapping) {
+	b.Helper()
+	m := NewMachine(Quiet(CoffeeLake(1)))
+	env := m.Direct(m.NewProcess("bench"))
+	buf := env.Mmap(16*mem.PageSize, mem.MapLocked)
+	for i := 0; i < 16; i++ {
+		env.Load(0x400000, buf.Base+mem.VAddr(i)*mem.PageSize)
+	}
+	return m, env, buf
+}
+
+// BenchmarkMachineLoadSteadyState measures the full demand-load path —
+// translate, TLB, hierarchy, prefetcher suite, latency histogram — with a
+// hot working set. This is the per-access unit every attack and campaign
+// multiplies by millions, and the path TestHotPathZeroAlloc pins at zero
+// allocations.
+func BenchmarkMachineLoadSteadyState(b *testing.B) {
+	_, env, buf := benchMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Load(0x400040, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+	}
+}
+
+// BenchmarkMachineLoadStrided measures the load path while the IP-stride
+// prefetcher continuously trains and fires (prefetch fills included).
+func BenchmarkMachineLoadStrided(b *testing.B) {
+	_, env, buf := benchMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := mem.VAddr(i%8) * 7 * mem.LineSize
+		env.Load(0x400080, buf.Base+off)
+	}
+}
+
+// BenchmarkMachineTimedLoad includes the measurement overhead and jitter
+// draw of the attacker's rdtscp-fenced load.
+func BenchmarkMachineTimedLoad(b *testing.B) {
+	_, env, buf := benchMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.TimeLoad(0x4000c0, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+	}
+}
+
+// BenchmarkNewMachine measures construction cost: campaign drivers boot a
+// fresh machine per experiment point, so this rides every sweep.
+func BenchmarkNewMachine(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMachine(Quiet(CoffeeLake(1)))
+	}
+}

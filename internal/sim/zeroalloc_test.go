@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+// TestHotPathZeroAlloc pins the steady-state load path — translate, TLB,
+// cache hierarchy, prefetcher suite, telemetry counters — at zero heap
+// allocations per access. Any allocation creeping into this path multiplies
+// by the millions of loads per experiment, so a regression here fails
+// loudly rather than showing up as a silent slowdown.
+func TestHotPathZeroAlloc(t *testing.T) {
+	m := NewMachine(Quiet(CoffeeLake(1)))
+	env := m.Direct(m.NewProcess("zeroalloc"))
+	buf := env.Mmap(16*mem.PageSize, mem.MapLocked)
+	for i := 0; i < 16; i++ {
+		env.Load(0x400000, buf.Base+mem.VAddr(i)*mem.PageSize)
+	}
+	// Warm every path the measured loop takes: demand hits, strided loads
+	// that keep the IP-stride prefetcher firing, and timed loads. The first
+	// few prefetcher calls may grow the suite's scratch buffer; after the
+	// warmup it is at capacity.
+	for i := 0; i < 4096; i++ {
+		env.Load(0x400040, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+		env.Load(0x400080, buf.Base+mem.VAddr(i%8)*7*mem.LineSize)
+		env.TimeLoad(0x4000c0, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+	}
+
+	cases := []struct {
+		name string
+		op   func(i int)
+	}{
+		{"demand load", func(i int) {
+			env.Load(0x400040, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+		}},
+		{"strided load with prefetches", func(i int) {
+			env.Load(0x400080, buf.Base+mem.VAddr(i%8)*7*mem.LineSize)
+		}},
+		{"timed load", func(i int) {
+			env.TimeLoad(0x4000c0, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := 0
+			allocs := testing.AllocsPerRun(2000, func() {
+				tc.op(i)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s allocates %.2f times per op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -40,22 +40,19 @@ func DefaultConfig() Config {
 	}
 }
 
-type entry struct {
-	asid  uint64
-	vpn   uint64
-	valid bool
-}
-
-type tlbSet struct {
-	entries []entry
-	stamps  []uint64 // LRU stamps per way
-	clock   uint64
-}
-
-// level is one set-associative translation array.
+// level is one set-associative translation array. All per-way state lives
+// in contiguous slices indexed set*ways+way (set-major, the order every
+// iteration — snapshot, audit, hash, visit — has always used), so a lookup
+// is index arithmetic over four flat arrays instead of chasing per-set heap
+// objects.
 type level struct {
-	sets    []*tlbSet
+	ways    int
 	setMask uint64
+	asids   []uint64 // [set*ways+way]
+	vpns    []uint64
+	valid   []bool
+	stamps  []uint64 // LRU stamps per way
+	clocks  []uint64 // virtual clock per set
 }
 
 func newLevel(entries, ways int) *level {
@@ -66,67 +63,79 @@ func newLevel(entries, ways int) *level {
 	if nsets&(nsets-1) != 0 {
 		panic("tlb: set count must be a power of two")
 	}
-	l := &level{setMask: uint64(nsets - 1)}
-	l.sets = make([]*tlbSet, nsets)
-	for i := range l.sets {
-		l.sets[i] = &tlbSet{
-			entries: make([]entry, ways),
-			stamps:  make([]uint64, ways),
-		}
+	return &level{
+		ways:    ways,
+		setMask: uint64(nsets - 1),
+		asids:   make([]uint64, entries),
+		vpns:    make([]uint64, entries),
+		valid:   make([]bool, entries),
+		stamps:  make([]uint64, entries),
+		clocks:  make([]uint64, nsets),
 	}
-	return l
 }
 
-func (l *level) setFor(vpn uint64) *tlbSet { return l.sets[vpn&l.setMask] }
+func (l *level) nsets() int { return int(l.setMask) + 1 }
 
-// touch looks up and refreshes an entry; it reports a hit.
-func (l *level) touch(asid, vpn uint64) bool {
-	s := l.setFor(vpn)
-	for i := range s.entries {
-		if s.entries[i].valid && s.entries[i].vpn == vpn && s.entries[i].asid == asid {
-			s.clock++
-			s.stamps[i] = s.clock
-			return true
+// touch looks up and refreshes an entry; it reports the flat index hit.
+func (l *level) touch(asid, vpn uint64) (int, bool) {
+	set := int(vpn & l.setMask)
+	base := set * l.ways
+	vpns := l.vpns[base : base+l.ways]
+	valid := l.valid[base : base+l.ways]
+	asids := l.asids[base : base+l.ways]
+	for w := range vpns {
+		if valid[w] && vpns[w] == vpn && asids[w] == asid {
+			i := base + w
+			l.clocks[set]++
+			l.stamps[i] = l.clocks[set]
+			return i, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 func (l *level) contains(asid, vpn uint64) bool {
-	s := l.setFor(vpn)
-	for i := range s.entries {
-		if s.entries[i].valid && s.entries[i].vpn == vpn && s.entries[i].asid == asid {
+	base := int(vpn&l.setMask) * l.ways
+	vpns := l.vpns[base : base+l.ways]
+	valid := l.valid[base : base+l.ways]
+	asids := l.asids[base : base+l.ways]
+	for w := range vpns {
+		if valid[w] && vpns[w] == vpn && asids[w] == asid {
 			return true
 		}
 	}
 	return false
 }
 
-func (l *level) install(asid, vpn uint64) {
-	s := l.setFor(vpn)
-	victim := 0
-	for i := range s.entries {
-		if !s.entries[i].valid {
-			victim = i
-			goto place
+// install places the translation in its set — empty way first, else the
+// LRU-stamped victim — and returns the flat index used.
+func (l *level) install(asid, vpn uint64) int {
+	set := int(vpn & l.setMask)
+	base := set * l.ways
+	victim := -1
+	for w := 0; w < l.ways; w++ {
+		if !l.valid[base+w] {
+			victim = base + w
+			break
 		}
 	}
-	for i := 1; i < len(s.entries); i++ {
-		if s.stamps[i] < s.stamps[victim] {
-			victim = i
+	if victim < 0 {
+		victim = base
+		for w := 1; w < l.ways; w++ {
+			if l.stamps[base+w] < l.stamps[victim] {
+				victim = base + w
+			}
 		}
 	}
-place:
-	s.clock++
-	s.entries[victim] = entry{asid: asid, vpn: vpn, valid: true}
-	s.stamps[victim] = s.clock
+	l.clocks[set]++
+	l.asids[victim], l.vpns[victim], l.valid[victim] = asid, vpn, true
+	l.stamps[victim] = l.clocks[set]
+	return victim
 }
 
 func (l *level) flush() {
-	for _, s := range l.sets {
-		for i := range s.entries {
-			s.entries[i].valid = false
-		}
+	for i := range l.valid {
+		l.valid[i] = false
 	}
 }
 
@@ -140,6 +149,16 @@ type TLB struct {
 	hits     uint64
 	misses   uint64
 	stlbHits uint64
+
+	// One-entry direct-mapped way predictor over the dTLB: the flat index
+	// where (predAsid, predVpn) was last seen. It caches only a LOCATION —
+	// a use re-verifies set, tag and validity and then performs the exact
+	// mutations the full set scan would, so it can only skip the scan,
+	// never change observable state.
+	predAsid uint64
+	predVpn  uint64
+	predIdx  int
+	predOK   bool
 }
 
 // New builds a TLB; entries must divide evenly into ways at each level.
@@ -158,17 +177,36 @@ func New(cfg Config) *TLB {
 // entry at both levels.
 func (t *TLB) Lookup(asid uint64, v mem.VAddr) (hit bool, extraLatency uint64) {
 	vpn := v.PageNumber()
-	if t.l1.touch(asid, vpn) {
+	if t.predOK && t.predVpn == vpn && t.predAsid == asid {
+		i := t.predIdx
+		set := int(vpn & t.l1.setMask)
+		// Verify the predicted slot still holds this translation in the set
+		// the VPN maps to; the scan below would find exactly this way (the
+		// predictor is reset whenever duplicates could be introduced).
+		if i >= set*t.l1.ways && i < (set+1)*t.l1.ways &&
+			t.l1.valid[i] && t.l1.vpns[i] == vpn && t.l1.asids[i] == asid {
+			t.l1.clocks[set]++
+			t.l1.stamps[i] = t.l1.clocks[set]
+			t.hits++
+			return true, t.cfg.HitLatency
+		}
+	}
+	if i, ok := t.l1.touch(asid, vpn); ok {
 		t.hits++
+		t.predAsid, t.predVpn, t.predIdx, t.predOK = asid, vpn, i, true
 		return true, t.cfg.HitLatency
 	}
-	if t.stlb != nil && t.stlb.touch(asid, vpn) {
-		t.stlbHits++
-		t.l1.install(asid, vpn)
-		return true, t.cfg.STLBLatency
+	if t.stlb != nil {
+		if _, ok := t.stlb.touch(asid, vpn); ok {
+			t.stlbHits++
+			i := t.l1.install(asid, vpn)
+			t.predAsid, t.predVpn, t.predIdx, t.predOK = asid, vpn, i, true
+			return true, t.cfg.STLBLatency
+		}
 	}
 	t.misses++
-	t.l1.install(asid, vpn)
+	i := t.l1.install(asid, vpn)
+	t.predAsid, t.predVpn, t.predIdx, t.predOK = asid, vpn, i, true
 	if t.stlb != nil {
 		t.stlb.install(asid, vpn)
 	}
@@ -204,6 +242,7 @@ func (t *TLB) FlushAll() {
 	if t.stlb != nil {
 		t.stlb.flush()
 	}
+	t.predOK = false
 }
 
 // Stats reports cumulative dTLB hits, full misses and STLB hits.
@@ -240,20 +279,21 @@ func (t *TLB) Audit() []error {
 
 func (l *level) audit(name string) []error {
 	var errs []error
-	for si, s := range l.sets {
-		for i := range s.entries {
-			if s.stamps[i] > s.clock {
-				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d stamp %d ahead of clock %d", name, si, i, s.stamps[i], s.clock))
+	for si := 0; si < l.nsets(); si++ {
+		base := si * l.ways
+		for i := 0; i < l.ways; i++ {
+			if l.stamps[base+i] > l.clocks[si] {
+				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d stamp %d ahead of clock %d", name, si, i, l.stamps[base+i], l.clocks[si]))
 			}
-			if !s.entries[i].valid {
+			if !l.valid[base+i] {
 				continue
 			}
-			if vpnSet := s.entries[i].vpn & l.setMask; vpnSet != uint64(si) {
-				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d holds vpn %#x which maps to set %d", name, si, i, s.entries[i].vpn, vpnSet))
+			if vpnSet := l.vpns[base+i] & l.setMask; vpnSet != uint64(si) {
+				errs = append(errs, fmt.Errorf("tlb %s: set %d way %d holds vpn %#x which maps to set %d", name, si, i, l.vpns[base+i], vpnSet))
 			}
-			for j := i + 1; j < len(s.entries); j++ {
-				if s.entries[j].valid && s.entries[j].vpn == s.entries[i].vpn && s.entries[j].asid == s.entries[i].asid {
-					errs = append(errs, fmt.Errorf("tlb %s: set %d holds duplicate (asid %d, vpn %#x) in ways %d and %d", name, si, s.entries[i].asid, s.entries[i].vpn, i, j))
+			for j := i + 1; j < l.ways; j++ {
+				if l.valid[base+j] && l.vpns[base+j] == l.vpns[base+i] && l.asids[base+j] == l.asids[base+i] {
+					errs = append(errs, fmt.Errorf("tlb %s: set %d holds duplicate (asid %d, vpn %#x) in ways %d and %d", name, si, l.asids[base+i], l.vpns[base+i], i, j))
 				}
 			}
 		}
@@ -272,19 +312,22 @@ func (t *TLB) VisitEntries(fn func(asid, vpn uint64)) {
 }
 
 func (l *level) visit(fn func(asid, vpn uint64)) {
-	for _, s := range l.sets {
-		for i := range s.entries {
-			if s.entries[i].valid {
-				fn(s.entries[i].asid, s.entries[i].vpn)
-			}
+	for i, v := range l.valid {
+		if v {
+			fn(l.asids[i], l.vpns[i])
 		}
 	}
 }
 
 // CorruptInsert force-installs a translation at the first level without any
 // page-table backing — the desync a missed shootdown would leave behind. The
-// coherence audit must flag it.
-func (t *TLB) CorruptInsert(asid, vpn uint64) { t.l1.install(asid, vpn) }
+// coherence audit must flag it. It can create in-set duplicates, so the way
+// predictor is reset (its verification assumes a translation occupies at
+// most one way).
+func (t *TLB) CorruptInsert(asid, vpn uint64) {
+	t.l1.install(asid, vpn)
+	t.predOK = false
+}
 
 // LevelSnapshot captures one translation array.
 type LevelSnapshot struct {
@@ -304,34 +347,25 @@ type TLBSnapshot struct {
 }
 
 func (l *level) snapshot() LevelSnapshot {
-	var snap LevelSnapshot
-	for _, s := range l.sets {
-		snap.Clocks = append(snap.Clocks, s.clock)
-		for i := range s.entries {
-			snap.ASIDs = append(snap.ASIDs, s.entries[i].asid)
-			snap.VPNs = append(snap.VPNs, s.entries[i].vpn)
-			snap.Valid = append(snap.Valid, s.entries[i].valid)
-			snap.Stamps = append(snap.Stamps, s.stamps[i])
-		}
+	return LevelSnapshot{
+		ASIDs:  append([]uint64(nil), l.asids...),
+		VPNs:   append([]uint64(nil), l.vpns...),
+		Valid:  append([]bool(nil), l.valid...),
+		Stamps: append([]uint64(nil), l.stamps...),
+		Clocks: append([]uint64(nil), l.clocks...),
 	}
-	return snap
 }
 
 func (l *level) restore(snap LevelSnapshot) error {
-	ways := len(l.sets[0].entries)
-	if len(snap.Clocks) != len(l.sets) || len(snap.ASIDs) != len(l.sets)*ways {
+	if len(snap.Clocks) != l.nsets() || len(snap.ASIDs) != len(l.asids) {
 		return fmt.Errorf("tlb: snapshot geometry mismatch (%d sets x %d ways vs %d clocks, %d entries)",
-			len(l.sets), ways, len(snap.Clocks), len(snap.ASIDs))
+			l.nsets(), l.ways, len(snap.Clocks), len(snap.ASIDs))
 	}
-	k := 0
-	for si, s := range l.sets {
-		s.clock = snap.Clocks[si]
-		for i := range s.entries {
-			s.entries[i] = entry{asid: snap.ASIDs[k], vpn: snap.VPNs[k], valid: snap.Valid[k]}
-			s.stamps[i] = snap.Stamps[k]
-			k++
-		}
-	}
+	copy(l.asids, snap.ASIDs)
+	copy(l.vpns, snap.VPNs)
+	copy(l.valid, snap.Valid)
+	copy(l.stamps, snap.Stamps)
+	copy(l.clocks, snap.Clocks)
 	return nil
 }
 
@@ -344,7 +378,9 @@ func (t *TLB) Snapshot() TLBSnapshot {
 	return snap
 }
 
-// Restore adopts a snapshot taken from a TLB with the same geometry.
+// Restore adopts a snapshot taken from a TLB with the same geometry. The
+// restored contents need not match the predictor's cached location (the
+// snapshot may even be deliberately corrupted), so the predictor forgets.
 func (t *TLB) Restore(snap TLBSnapshot) error {
 	if err := t.l1.restore(snap.L1); err != nil {
 		return err
@@ -355,6 +391,7 @@ func (t *TLB) Restore(snap TLBSnapshot) error {
 		}
 	}
 	t.hits, t.misses, t.stlbHits = snap.Hits, snap.Misses, snap.STLBHits
+	t.predOK = false
 	return nil
 }
 
@@ -375,14 +412,15 @@ func (t *TLB) StateHash(normalize func(asid uint64) uint64) uint64 {
 }
 
 func (l *level) hashInto(h *statehash.Hash, normalize func(uint64) uint64) {
-	for _, s := range l.sets {
-		h.U64(s.clock)
-		for i := range s.entries {
-			h.Bool(s.entries[i].valid)
-			if s.entries[i].valid {
-				h.U64(normalize(s.entries[i].asid)).U64(s.entries[i].vpn)
+	for si := 0; si < l.nsets(); si++ {
+		h.U64(l.clocks[si])
+		base := si * l.ways
+		for i := 0; i < l.ways; i++ {
+			h.Bool(l.valid[base+i])
+			if l.valid[base+i] {
+				h.U64(normalize(l.asids[base+i])).U64(l.vpns[base+i])
 			}
-			h.U64(s.stamps[i])
+			h.U64(l.stamps[base+i])
 		}
 	}
 }
