@@ -1,0 +1,112 @@
+// Command afterimage-serve runs the campaign service: an HTTP front door
+// over the deterministic simulator with a persistent content-addressed
+// result cache, single-flight deduplication, per-tenant admission control
+// with load shedding, SSE progress streaming, and crash-safe
+// checkpoint/resume.
+//
+//	afterimage-serve -addr :8080 -store /var/lib/afterimage/store \
+//	    -checkpoints /var/lib/afterimage/checkpoints
+//
+// Submit a campaign:
+//
+//	curl -s localhost:8080/v1/campaigns -d \
+//	    '{"tenant":"alice","attack":"v1-thread","bits":12,"intensities":[0,1],"seed":5}'
+//
+// Resubmitting the same spec is a cache hit (X-Afterimage-Cache: hit) with
+// byte-identical body. SIGTERM drains gracefully: in-flight campaigns are
+// checkpointed and a restarted server resumes them on their next request.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"afterimage/internal/server"
+	"afterimage/internal/store"
+	"afterimage/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		storeDir      = flag.String("store", "afterimage-store", "content-addressed result store directory (persists across restarts)")
+		ckptDir       = flag.String("checkpoints", "afterimage-checkpoints", "per-campaign runner checkpoint directory (persists across restarts)")
+		maxCampaigns  = flag.Int("max-campaigns", 4, "campaigns executing concurrently")
+		queueDepth    = flag.Int("queue", 8, "campaigns waiting for a slot before the server sheds with 429 + Retry-After")
+		tenantQuota   = flag.Int("tenant-quota", 2, "per-tenant concurrent-campaign quota (excess is an immediate 429)")
+		pointWorkers  = flag.Int("point-workers", 1, "runner workers inside each campaign (results identical for any value)")
+		defaultTimout = flag.Duration("campaign-timeout", 0, "default per-campaign wall deadline when the spec sets none (0 = none); expiry checkpoints and returns 504")
+		retryAfter    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight campaigns to checkpoint and unwind")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	st, quarantined, err := store.Open(*storeDir, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: open store: %v\n", err)
+		os.Exit(1)
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: recovery scan quarantined %d torn/corrupt store files (see %s)\n",
+			quarantined, store.QuarantineDir)
+	}
+	fmt.Printf("store: %s (%d entries)\n", st.Dir(), st.Len())
+
+	srv, err := server.New(server.Config{
+		Store:          st,
+		CheckpointDir:  *ckptDir,
+		Registry:       reg,
+		MaxConcurrent:  *maxCampaigns,
+		QueueDepth:     *queueDepth,
+		TenantQuota:    *tenantQuota,
+		PointWorkers:   *pointWorkers,
+		DefaultTimeout: *defaultTimout,
+		RetryAfter:     *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new executions, cancel in-flight campaigns at
+	// their next point boundary (each completed point is already
+	// checkpointed), wait for them to unwind, then close the listener. A
+	// restart resumes every interrupted campaign from its checkpoint.
+	fmt.Fprintln(os.Stderr, "afterimage-serve: draining (in-flight campaigns checkpoint and stop)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "afterimage-serve: drained cleanly")
+}

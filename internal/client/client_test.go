@@ -1,0 +1,112 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"afterimage/internal/client"
+	"afterimage/internal/server"
+)
+
+// TestSubmitWaitHonoursRetryAfter: a shedding server's 429s are retried
+// after the hinted delay until the work is admitted.
+func TestSubmitWaitHonoursRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "queue full"}`)
+			return
+		}
+		w.Header().Set(server.HeaderKey, "k")
+		w.Header().Set(server.HeaderCache, "miss")
+		fmt.Fprint(w, `{"points": []}`)
+	}))
+	defer hs.Close()
+
+	cl := client.New(hs.URL)
+	start := time.Now()
+	res, err := cl.SubmitWait(context.Background(), server.CampaignSpec{Attack: "v1-thread"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d submissions, want 3", got)
+	}
+	if res.Source != "miss" || res.Key != "k" {
+		t.Fatalf("result = %+v", res)
+	}
+	// Two 429s at Retry-After: 1s each must have delayed at least ~2s.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("retries ignored Retry-After: total elapsed %s", elapsed)
+	}
+}
+
+// TestSubmitWaitTerminalErrorNotRetried: validation failures are not
+// backpressure — SubmitWait must fail immediately.
+func TestSubmitWaitTerminalErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error": "unknown attack"}`)
+	}))
+	defer hs.Close()
+
+	_, err := client.New(hs.URL).SubmitWait(context.Background(), server.CampaignSpec{}, 5)
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("terminal 400 retried: err=%v calls=%d", err, calls.Load())
+	}
+	var re *client.RetryableError
+	if errors.As(err, &re) {
+		t.Fatalf("400 classified as retryable: %v", err)
+	}
+}
+
+// TestSubmitWaitAttemptsExhausted: a permanently shedding server exhausts
+// the attempt budget and surfaces the last backpressure error.
+func TestSubmitWaitAttemptsExhausted(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error": "draining"}`)
+	}))
+	defer hs.Close()
+
+	_, err := client.New(hs.URL).SubmitWait(context.Background(), server.CampaignSpec{Attack: "v1-thread"}, 2)
+	var re *client.RetryableError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries: got %v, want wrapped 503", err)
+	}
+}
+
+// TestEventsParsesSSEStream: the SSE line protocol round-trips
+// ProgressEvents, and fn returning false stops the stream early.
+func TestEventsParsesSSEStream(t *testing.T) {
+	key := "ab12"
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "data: {\"type\":\"started\",\"key\":%q,\"total\":2}\n\n", key)
+		fmt.Fprintf(w, "data: {\"type\":\"point\",\"key\":%q,\"completed\":1,\"total\":2}\n\n", key)
+		fmt.Fprintf(w, "data: {\"type\":\"done\",\"key\":%q,\"completed\":2,\"total\":2}\n\n", key)
+	}))
+	defer hs.Close()
+
+	var got []server.ProgressEvent
+	err := client.New(hs.URL).Events(context.Background(), key, func(ev server.ProgressEvent) bool {
+		got = append(got, ev)
+		return ev.Type != "done"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Type != "started" || got[1].Completed != 1 || got[2].Type != "done" {
+		t.Fatalf("events = %+v", got)
+	}
+}

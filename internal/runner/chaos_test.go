@@ -119,3 +119,34 @@ func TestChaosTornWriteSurvival(t *testing.T) {
 func writeGarbage(path string) error {
 	return os.WriteFile(path, []byte(`{"schema": "afterimage-runner-ch`), 0o644)
 }
+
+// TestCheckpointWriteDurable pins the write sequence the power-loss guarantee
+// rides on: after every checkpoint write the temp file is gone (renamed, not
+// copied-and-forgotten), the target parses, and the parent-directory fsync
+// succeeded — a failure there would have surfaced as a campaign error.
+func TestCheckpointWriteDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "durable.ckpt")
+	fp := Fingerprint("durable")
+	if _, err := Run(context.Background(), chaosJobs(4), Options{
+		CheckpointPath: path, Fingerprint: fp, Sleep: noSleep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the rename: %v", err)
+	}
+	keys, err := CompletedKeys(path)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after durable write: %v", err)
+	}
+	if len(keys) != 4 {
+		t.Fatalf("checkpoint holds %d jobs, want 4", len(keys))
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
+	}
+}

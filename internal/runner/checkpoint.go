@@ -4,9 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 )
 
 // CheckpointSchema versions the on-disk checkpoint format. A file carrying a
@@ -33,6 +36,15 @@ type checkpointState struct {
 // an existing file is loaded and validated (schema and campaign fingerprint
 // must match); otherwise any stale file is ignored and overwritten by the
 // first write.
+//
+// An unparseable file is damage, not disagreement — every write is atomic,
+// so torn JSON means the file was hurt after the fact (disk fault, partial
+// copy). Failing would wedge the campaign permanently (each retry re-hits
+// the same parse error), so the damaged file is quarantined beside the
+// original as <path>.corrupt and the campaign resumes fresh; determinism
+// makes the recomputed results identical. Well-formed files that disagree
+// (wrong schema, wrong fingerprint) still fail loudly: those are
+// configuration errors a recompute would silently paper over.
 func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, error) {
 	st := &checkpointState{
 		path:        path,
@@ -51,7 +63,10 @@ func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, er
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("runner: parse checkpoint %s: %w", path, err)
+		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+			return nil, fmt.Errorf("runner: checkpoint %s is corrupt (%v) and could not be quarantined: %w", path, err, qerr)
+		}
+		return st, nil
 	}
 	if f.Schema != CheckpointSchema {
 		return nil, fmt.Errorf("runner: checkpoint %s has schema %q, want %q",
@@ -67,10 +82,13 @@ func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, er
 	return st, nil
 }
 
-// write persists the completed map atomically: marshal, write to a
-// same-directory temp file, fsync, rename over the target. A kill between
-// any two steps leaves either the previous checkpoint or the new one —
-// never a torn file.
+// write persists the completed map atomically and durably: marshal, write to
+// a same-directory temp file, fsync the file, rename over the target, then
+// fsync the parent directory. A kill between any two steps leaves either the
+// previous checkpoint or the new one — never a torn file — and the directory
+// fsync makes the rename itself survive power loss: without it the new name
+// may still live only in the directory's in-memory metadata, and a crash
+// after "rename succeeded" could resurface the old checkpoint (or none).
 func (st *checkpointState) write() error {
 	raw, err := json.MarshalIndent(checkpointFile{
 		Schema:      CheckpointSchema,
@@ -96,7 +114,26 @@ func (st *checkpointState) write() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, st.path)
+	if err := os.Rename(tmp, st.path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(st.path))
+}
+
+// SyncDir fsyncs a directory so a just-completed rename inside it is durable,
+// not merely atomic. Filesystems that refuse to fsync directories (some
+// network mounts) are tolerated: atomicity still holds there, durability is
+// whatever the mount provides.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // Fingerprint hashes an arbitrary JSON-encodable campaign description

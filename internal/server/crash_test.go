@@ -1,0 +1,282 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"afterimage/internal/client"
+	"afterimage/internal/runner"
+	"afterimage/internal/server"
+	"afterimage/internal/store"
+)
+
+// entryPath locates a campaign's store entry on disk (the store shards by
+// the first key byte).
+func entryPath(storeDir, key string) string {
+	return filepath.Join(storeDir, key[:2], key+".entry")
+}
+
+// TestRestartServesCachedBytes: results survive an abrupt restart — a new
+// server over the same store directory serves the same bytes as a hit,
+// without re-executing.
+func TestRestartServesCachedBytes(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "ckpt")
+
+	e1 := startEnv(t, storeDir, ckptDir, nil)
+	first, err := e1.cl.Submit(context.Background(), tinySpec(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.hs.Close() // "crash": no drain, no shutdown ceremony
+
+	e2 := startEnv(t, storeDir, ckptDir, nil)
+	second, err := e2.cl.Submit(context.Background(), tinySpec(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "hit" || !bytes.Equal(first.Body, second.Body) {
+		t.Fatalf("post-restart result: source=%s identical=%v",
+			second.Source, bytes.Equal(first.Body, second.Body))
+	}
+	if got := e2.counter(t, "server.campaigns.executed"); got != 0 {
+		t.Fatalf("restarted server re-executed a cached campaign (%d)", got)
+	}
+}
+
+// TestCorruptEntryRecomputedIdentically: a store entry damaged while the
+// server was down is quarantined by the restart recovery scan, and the next
+// request transparently recomputes a byte-identical result.
+func TestCorruptEntryRecomputedIdentically(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "ckpt")
+
+	e1 := startEnv(t, storeDir, ckptDir, nil)
+	first, err := e1.cl.Submit(context.Background(), tinySpec(111))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.hs.Close()
+
+	// Tear the entry: keep the header but truncate the payload, the shape a
+	// crash mid-write or disk fault leaves behind.
+	path := entryPath(storeDir, first.Key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := startEnv(t, storeDir, ckptDir, nil)
+	if got := e2.counter(t, "store.recovery.quarantined"); got != 1 {
+		t.Fatalf("recovery scan quarantined %d files, want 1", got)
+	}
+	again, err := e2.cl.Submit(context.Background(), tinySpec(111))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != "miss" {
+		t.Fatalf("damaged entry served as %q, want recompute (miss)", again.Source)
+	}
+	if !bytes.Equal(first.Body, again.Body) {
+		t.Fatalf("recomputed result differs from the original:\n%s\nvs\n%s", first.Body, again.Body)
+	}
+}
+
+// TestDrainCheckpointsAndRestartResumes is the graceful-shutdown
+// end-to-end: SIGTERM-style Drain mid-campaign cancels the run after some
+// points completed, the interrupted request gets a retryable 503, the
+// checkpoint survives on disk, and a restarted server resumes the campaign
+// from it — completing only the missing points and producing bytes identical
+// to a never-interrupted run.
+func TestDrainCheckpointsAndRestartResumes(t *testing.T) {
+	spec := tinySpec(121)
+	spec.Intensities = []float64{0, 1, 2, 3} // enough points to interrupt between
+	key := spec.Normalize().Key()
+
+	// Golden: the same campaign, undisturbed.
+	golden := func() []byte {
+		e := newEnv(t, nil)
+		res, err := e.cl.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Body
+	}()
+
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "ckpt")
+	e1 := startEnv(t, storeDir, ckptDir, nil)
+
+	// Drain the server as soon as the first point checkpoints.
+	var drainOnce sync.Once
+	drained := make(chan struct{})
+	e1.srv.SetTestPointDone(func(k string, completed int) {
+		if k != key || completed < 1 {
+			return
+		}
+		drainOnce.Do(func() {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+				defer cancel()
+				if err := e1.srv.Drain(ctx); err != nil {
+					t.Errorf("drain: %v", err)
+				}
+				close(drained)
+			}()
+		})
+	})
+
+	_, err := e1.cl.Submit(context.Background(), spec)
+	var re *client.RetryableError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("drained submit: got %v, want 503", err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if got := e1.counter(t, "server.campaigns.canceled"); got != 1 {
+		t.Fatalf("campaigns.canceled = %d, want 1", got)
+	}
+
+	// The interrupted campaign's progress is on disk.
+	ckpt := filepath.Join(ckptDir, key+".ckpt")
+	keys, err := runnerCompletedKeys(ckpt)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	if len(keys) < 1 || len(keys) >= len(spec.Intensities) {
+		t.Fatalf("checkpoint holds %d completed points, want 1..%d",
+			len(keys), len(spec.Intensities)-1)
+	}
+	e1.hs.Close()
+
+	// Restart over the same directories: the next request resumes the
+	// checkpointed points instead of re-simulating them.
+	e2 := startEnv(t, storeDir, ckptDir, nil)
+	res, err := e2.cl.SubmitWait(context.Background(), spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "miss" {
+		t.Fatalf("resumed campaign source %q, want miss", res.Source)
+	}
+	if got := e2.counter(t, "runner.jobs.resumed"); got < 1 {
+		t.Fatalf("runner.jobs.resumed = %d, want >= 1 (campaign restarted from scratch)", got)
+	}
+	if !bytes.Equal(res.Body, golden) {
+		t.Fatalf("drain-interrupted campaign diverged from uninterrupted run:\n%s\nvs\n%s", res.Body, golden)
+	}
+	// The completed campaign's checkpoint is superseded and removed.
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint not cleaned up after completion: %v", err)
+	}
+}
+
+// TestRestartAfterTornCheckpoint: a checkpoint file torn at the moment of a
+// crash must not wedge the campaign — the runner treats unparseable trailing
+// state conservatively and the campaign still completes byte-identically.
+func TestRestartAfterTornCheckpoint(t *testing.T) {
+	spec := tinySpec(131)
+	spec.Intensities = []float64{0, 1, 2}
+	key := spec.Normalize().Key()
+
+	golden := func() []byte {
+		e := newEnv(t, nil)
+		res, err := e.cl.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Body
+	}()
+
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a torn checkpoint: half a JSON line, as a crash mid-write (without
+	// the fsync'd rename) would leave.
+	ckpt := filepath.Join(ckptDir, key+".ckpt")
+	if err := os.WriteFile(ckpt, []byte(`{"key":"sweep/v1-thread/0/0","va`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := startEnv(t, storeDir, ckptDir, nil)
+	res, err := e.cl.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("campaign with torn checkpoint: %v", err)
+	}
+	if !bytes.Equal(res.Body, golden) {
+		t.Fatalf("torn checkpoint corrupted the campaign:\n%s\nvs\n%s", res.Body, golden)
+	}
+	// The damaged file was quarantined for forensics, not deleted.
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Fatalf("torn checkpoint not quarantined: %v", err)
+	}
+}
+
+// runnerCompletedKeys reads a runner checkpoint's completed-job keys.
+func runnerCompletedKeys(path string) ([]string, error) {
+	return runner.CompletedKeys(path)
+}
+
+// TestStoreDirSurvivesServerChurn: several sequential server generations
+// over one store accumulate a consistent cache — every generation serves
+// prior generations' results as hits.
+func TestStoreDirSurvivesServerChurn(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "ckpt")
+
+	bodies := map[int64][]byte{}
+	for gen := 0; gen < 3; gen++ {
+		e := startEnv(t, storeDir, ckptDir, nil)
+		for seed := int64(140); seed < 143; seed++ {
+			res, err := e.cl.Submit(context.Background(), tinySpec(seed))
+			if err != nil {
+				t.Fatalf("gen %d seed %d: %v", gen, seed, err)
+			}
+			if prev, ok := bodies[seed]; ok {
+				if res.Source != "hit" {
+					t.Fatalf("gen %d seed %d: source %q, want hit", gen, seed, res.Source)
+				}
+				if !bytes.Equal(prev, res.Body) {
+					t.Fatalf("gen %d seed %d: bytes diverged across restarts", gen, seed)
+				}
+			} else {
+				bodies[seed] = res.Body
+			}
+		}
+		if gen > 0 {
+			if got := e.counter(t, "server.campaigns.executed"); got != 0 {
+				t.Fatalf("gen %d re-executed %d cached campaigns", gen, got)
+			}
+		}
+		e.hs.Close()
+	}
+	// Final sanity: the store holds exactly the three distinct campaigns.
+	st, _, err := store.Open(storeDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d entries, want 3", st.Len())
+	}
+	_ = server.SpecSchema // anchor: bumping the schema invalidates this cache
+}

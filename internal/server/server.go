@@ -1,0 +1,612 @@
+// Package server is the campaign service: an HTTP/JSON front door that
+// turns the deterministic simulator into a multi-tenant result service.
+// Most traffic is a content-addressed cache hit (internal/store); identical
+// in-flight requests collapse onto one execution (single-flight); fresh work
+// passes a two-level admission controller (per-tenant quotas, bounded queue
+// with 429 + Retry-After load shedding) and runs through internal/runner
+// with fingerprint-keyed checkpoints, so a crash, drain, or client cancel
+// loses at most the point in progress — a restarted server resumes the rest
+// and, because campaigns are pure functions of their spec, serves bytes
+// identical to an uninterrupted run.
+//
+// API (JSON unless noted):
+//
+//	POST /v1/campaigns            submit a CampaignSpec; responds with the
+//	                              SweepResult JSON (X-Afterimage-Cache:
+//	                              hit|miss|join, X-Afterimage-Key: <sha256>)
+//	GET  /v1/campaigns/{key}      fetch a cached result (200), in-flight
+//	                              progress (202), or 404
+//	GET  /v1/campaigns/{key}/events   SSE stream of ProgressEvents
+//	GET  /metrics                 text snapshot of the telemetry registry
+//	                              (runner.* / server.* / store.* counters)
+//	GET  /healthz                 liveness + drain state
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afterimage"
+	"afterimage/internal/runner"
+	"afterimage/internal/store"
+	"afterimage/internal/telemetry"
+)
+
+// Response headers.
+const (
+	// HeaderKey carries the campaign's content address on every result.
+	HeaderKey = "X-Afterimage-Key"
+	// HeaderCache reports how the result was produced: "hit" (store),
+	// "miss" (this request executed the campaign), or "join" (deduplicated
+	// onto another request's execution).
+	HeaderCache = "X-Afterimage-Cache"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the content-addressed result cache (required).
+	Store *store.Store
+	// CheckpointDir holds per-campaign runner checkpoints (required). It
+	// must persist across restarts for drain/crash resume to work.
+	CheckpointDir string
+	// Registry receives runner.*, server.*, and store.* counters; nil
+	// creates a private one.
+	Registry *telemetry.Registry
+	// MaxConcurrent bounds simultaneously executing campaigns (default 4).
+	MaxConcurrent int
+	// QueueDepth bounds campaigns waiting for an execution slot; beyond it
+	// the server sheds with 429 + Retry-After (default 8).
+	QueueDepth int
+	// TenantQuota bounds one tenant's executing-or-queued campaigns;
+	// exceeding it is an immediate 429 + Retry-After (default 2).
+	TenantQuota int
+	// PointWorkers is the runner worker count inside each campaign
+	// (default 1; results are identical for any value).
+	PointWorkers int
+	// DefaultTimeout is the per-request execution deadline applied when a
+	// spec carries no timeout_ms (0 = none). The deadline rides the flight
+	// context into Lab.ArmCancel, so an expired campaign faults at the
+	// next simulated operation, checkpoints, and returns 504.
+	DefaultTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 responses (default 2s).
+	RetryAfter time.Duration
+}
+
+// Server handles the campaign API. Create with New, serve via Handler, stop
+// via Drain.
+type Server struct {
+	cfg Config
+	st  *store.Store
+	reg *telemetry.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	wg         sync.WaitGroup // in-flight campaign executions
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	admission *admission
+	progress  *progressHub
+
+	requests, cacheHits, cacheMisses  *telemetry.Counter
+	joined, executed                  *telemetry.Counter
+	completed, failed, canceled       *telemetry.Counter
+	validationRejected, drainRejected *telemetry.Counter
+
+	// Test seams: gate blocks inside runCampaign before simulation (its
+	// error aborts the run); pointDone observes checkpoint writes.
+	testGate      func(ctx context.Context, key string) error
+	testPointDone func(key string, completed int)
+}
+
+// flight is one in-flight campaign execution that any number of identical
+// requests wait on. The last waiter to leave cancels it — an abandoned
+// campaign checkpoints and releases its slot instead of running for nobody.
+type flight struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed after body/err are set
+
+	body []byte
+	err  *apiError
+
+	mu      sync.Mutex
+	waiters int
+}
+
+// join registers another waiter.
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// leave drops one waiter, canceling the execution when none remain.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	if f.waiters <= 0 {
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+// apiError is a failure with an HTTP shape.
+type apiError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// New builds a server over an opened store. The checkpoint directory is
+// created if absent.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("server: Config.CheckpointDir is required")
+	}
+	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create checkpoint dir: %w", err)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.TenantQuota <= 0 {
+		cfg.TenantQuota = 2
+	}
+	if cfg.PointWorkers <= 0 {
+		cfg.PointWorkers = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Registry
+	s := &Server{
+		cfg:        cfg,
+		st:         cfg.Store,
+		reg:        reg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		flights:    make(map[string]*flight),
+		admission:  newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.TenantQuota, cfg.RetryAfter, reg),
+		progress:   newProgressHub(),
+
+		requests:           reg.Counter("server.requests"),
+		cacheHits:          reg.Counter("server.cache.hits"),
+		cacheMisses:        reg.Counter("server.cache.misses"),
+		joined:             reg.Counter("server.dedup.joined"),
+		executed:           reg.Counter("server.campaigns.executed"),
+		completed:          reg.Counter("server.campaigns.completed"),
+		failed:             reg.Counter("server.campaigns.failed"),
+		canceled:           reg.Counter("server.campaigns.canceled"),
+		validationRejected: reg.Counter("server.requests.invalid"),
+		drainRejected:      reg.Counter("server.drain.rejected"),
+	}
+	return s, nil
+}
+
+// Registry exposes the server's metric registry (for tests and the binary).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler builds the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{key}", s.handleGet)
+	mux.HandleFunc("GET /v1/campaigns/{key}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain stops the server gracefully: new executions are refused with 503 +
+// Retry-After, every in-flight campaign is canceled — the runner checkpoints
+// each completed point, so nothing finished is lost — and Drain waits for
+// them to unwind (bounded by ctx). Cache hits keep being served throughout.
+// A restarted server resumes the checkpointed campaigns on their next
+// request.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleSubmit is the main entry point: validate → cache → single-flight →
+// admission → execute.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.validationRejected.Inc()
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed campaign spec: " + err.Error()})
+		return
+	}
+	spec = spec.Normalize()
+	if !validTenant(spec.Tenant) {
+		s.validationRejected.Inc()
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("invalid tenant %q: want 1..64 chars of [a-zA-Z0-9_-]", spec.Tenant),
+		})
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		s.validationRejected.Inc()
+		writeValidationError(w, err)
+		return
+	}
+	s.reg.Counter("server.tenant." + spec.Tenant + ".requests").Inc()
+	key := spec.Key()
+
+	// Cache first: hits cost one read and bypass admission entirely — they
+	// are served even while draining.
+	if body, ok := s.st.Get(key); ok {
+		s.cacheHits.Inc()
+		writeResult(w, key, "hit", body)
+		return
+	}
+	s.cacheMisses.Inc()
+
+	if s.draining.Load() {
+		s.drainRejected.Inc()
+		writeAPIError(w, key, &apiError{Status: http.StatusServiceUnavailable,
+			Msg: "server is draining", RetryAfter: s.cfg.RetryAfter})
+		return
+	}
+
+	f, started := s.flightFor(key, spec)
+	if !started {
+		s.joined.Inc()
+	}
+	defer f.leave()
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// The client went away; leave() (deferred) releases our stake and
+		// cancels the execution if we were the last. The checkpoint keeps
+		// the completed points for the next request.
+		return
+	}
+	if f.err != nil {
+		writeAPIError(w, key, f.err)
+		return
+	}
+	source := "miss"
+	if !started {
+		source = "join"
+	}
+	writeResult(w, key, source, f.body)
+}
+
+// flightFor joins the in-flight execution for key or starts one.
+func (s *Server) flightFor(key string, spec CampaignSpec) (*flight, bool) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		f.join()
+		return f, false
+	}
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMs > 0 {
+		timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	}
+	var fctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		fctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		fctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	f := &flight{key: key, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	s.flights[key] = f
+	s.wg.Add(1)
+	go s.execute(f, spec)
+	return f, true
+}
+
+// execute runs one flight to completion: admission, campaign, store.
+func (s *Server) execute(f *flight, spec CampaignSpec) {
+	defer s.wg.Done()
+	defer func() {
+		s.fmu.Lock()
+		delete(s.flights, f.key)
+		s.fmu.Unlock()
+		f.cancel()
+		close(f.done)
+	}()
+
+	s.progress.publish(ProgressEvent{Type: "queued", Key: f.key, Total: len(spec.Intensities)})
+	release, aerr := s.admission.acquire(f.ctx, spec.Tenant)
+	if aerr != nil {
+		f.err = aerr
+		s.progress.publish(ProgressEvent{Type: "error", Key: f.key, Err: aerr.Msg})
+		return
+	}
+	defer release()
+
+	body, phases, err := s.runCampaign(f.ctx, f.key, spec)
+	if err != nil {
+		f.err = s.campaignError(f.ctx, err)
+		s.progress.publish(ProgressEvent{Type: "error", Key: f.key, Err: f.err.Msg})
+		return
+	}
+	f.body = body
+	if len(phases) > 0 {
+		s.progress.publish(ProgressEvent{Type: "phases", Key: f.key, Phases: phases})
+	}
+	s.progress.publish(ProgressEvent{Type: "done", Key: f.key,
+		Completed: len(spec.Intensities), Total: len(spec.Intensities)})
+}
+
+// runCampaign executes the sweep under the flight context with a
+// fingerprint-keyed checkpoint, stores the result on success, and removes
+// the now-redundant checkpoint. Resume is always on: if a previous run of
+// this campaign was interrupted (crash, drain, client cancel), its completed
+// points are loaded instead of re-simulated, and the final bytes equal an
+// uninterrupted run's.
+func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, error) {
+	s.executed.Inc()
+	if s.testGate != nil {
+		if err := s.testGate(ctx, key); err != nil {
+			return nil, nil, err
+		}
+	}
+	total := len(spec.Intensities)
+	s.progress.publish(ProgressEvent{Type: "started", Key: key, Total: total})
+
+	lab, err := afterimage.NewLabE(spec.labOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	// The deadline/cancel wiring below the runner: each sweep point's job
+	// context descends from ctx, and runSweepPoint arms the simulator
+	// watchdog with it (Lab.ArmCancel), so cancellation and deadlines
+	// surface as typed FaultBudget faults at the next simulated operation.
+	so := spec.sweepOptions()
+	ckpt := s.checkpointPath(key)
+	so.Runner = runner.Options{
+		Workers:        s.cfg.PointWorkers,
+		Metrics:        s.reg,
+		CheckpointPath: ckpt,
+		Resume:         true,
+		OnCheckpoint: func(completed int) {
+			s.progress.publish(ProgressEvent{Type: "point", Key: key, Completed: completed, Total: total})
+			if s.testPointDone != nil {
+				s.testPointDone(key, completed)
+			}
+		},
+	}
+	res, err := lab.RunFaultSweepCtx(ctx, so)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := res.JSON()
+	if err != nil {
+		return nil, nil, fmt.Errorf("encode result: %w", err)
+	}
+	if err := s.st.Put(key, body); err != nil {
+		return nil, nil, fmt.Errorf("persist result: %w", err)
+	}
+	os.Remove(ckpt) // the store entry supersedes it; best-effort
+	s.completed.Inc()
+	return body, lab.PhaseSummaries(), nil
+}
+
+func (s *Server) checkpointPath(key string) string {
+	return filepath.Join(s.cfg.CheckpointDir, key+".ckpt")
+}
+
+// campaignError maps an execution failure onto an HTTP shape. Cancellation
+// and deadlines are retryable by design: progress is checkpointed, so a
+// retry resumes rather than restarts.
+func (s *Server) campaignError(ctx context.Context, err error) *apiError {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.canceled.Inc()
+		return &apiError{Status: http.StatusGatewayTimeout,
+			Msg:        "campaign deadline exceeded; completed points are checkpointed — retry to resume",
+			RetryAfter: s.cfg.RetryAfter}
+	case ctx.Err() != nil:
+		s.canceled.Inc()
+		return &apiError{Status: http.StatusServiceUnavailable,
+			Msg:        "campaign canceled (drain or client gone); completed points are checkpointed — retry to resume",
+			RetryAfter: s.cfg.RetryAfter}
+	default:
+		s.failed.Inc()
+		return &apiError{Status: http.StatusInternalServerError, Msg: err.Error()}
+	}
+}
+
+// handleGet serves a cached result, in-flight progress (202), or 404.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed campaign key"})
+		return
+	}
+	if body, ok := s.st.Get(key); ok {
+		s.cacheHits.Inc()
+		writeResult(w, key, "hit", body)
+		return
+	}
+	if ev, ok := s.progress.state(key); ok {
+		w.Header().Set(HeaderKey, key)
+		writeJSON(w, http.StatusAccepted, ev)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "campaign not cached and not in flight"})
+}
+
+// handleEvents streams ProgressEvents for one campaign as server-sent
+// events. A subscriber to an already-cached campaign receives a single
+// terminal done event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed campaign key"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set(HeaderKey, key)
+	w.WriteHeader(http.StatusOK)
+
+	writeSSE := func(ev ProgressEvent) bool {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return ev.Type != "done" && ev.Type != "error"
+	}
+
+	if _, ok := s.st.Get(key); ok {
+		writeSSE(ProgressEvent{Type: "done", Key: key, Cached: true})
+		return
+	}
+	ch, cancel := s.progress.subscribe(key)
+	defer cancel()
+	// The store may have gained the entry between the check and the
+	// subscription; re-check so a race cannot strand the subscriber.
+	if _, ok := s.st.Get(key); ok {
+		writeSSE(ProgressEvent{Type: "done", Key: key, Cached: true})
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !writeSSE(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics renders the registry snapshot as sorted "name value" text —
+// runner.*, server.*, store.*, and per-tenant counters in one namespace.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.reg.Snapshot().String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+// validTenant bounds tenant names so they are safe as metric-name segments.
+func validTenant(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func writeResult(w http.ResponseWriter, key, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderKey, key)
+	w.Header().Set(HeaderCache, source)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func writeAPIError(w http.ResponseWriter, key string, e *apiError) {
+	if key != "" {
+		w.Header().Set(HeaderKey, key)
+	}
+	if e.RetryAfter > 0 {
+		secs := int64((e.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, e.Status, map[string]string{"error": e.Msg})
+}
+
+// writeValidationError renders a typed *OptionError structurally (struct,
+// field, constraint) so clients can point at the offending spec field; other
+// validation failures fall back to the plain error shape.
+func writeValidationError(w http.ResponseWriter, err error) {
+	var oe *afterimage.OptionError
+	if errors.As(err, &oe) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":      oe.Error(),
+			"struct":     oe.Struct,
+			"field":      oe.Field,
+			"value":      fmt.Sprint(oe.Value),
+			"constraint": oe.Constraint,
+		})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	raw, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintf(w, `{"error": %q}`, "encode response: "+err.Error())
+		return
+	}
+	w.Write(raw)
+	if !strings.HasSuffix(string(raw), "\n") {
+		w.Write([]byte("\n"))
+	}
+}

@@ -1,0 +1,347 @@
+// Package store is the campaign service's persistent content-addressed
+// result cache: byte payloads keyed by the sha256 of a canonical campaign
+// fingerprint. Because the simulator makes every campaign a pure function of
+// that fingerprint, an entry written once is valid forever — the store never
+// needs invalidation, only integrity.
+//
+// Durability model:
+//
+//   - Writes are atomic and durable: payload + header go to a same-directory
+//     temp file, the file is fsynced, renamed over the final name, and the
+//     parent directory is fsynced. A crash at any point leaves either no
+//     entry or a complete one under the final name — torn state can exist
+//     only under a .tmp name.
+//   - Open runs a recovery scan: leftover .tmp files and entries that fail
+//     the integrity check are moved to a quarantine directory (never
+//     deleted — they are crash forensics), and the store comes up serving
+//     every intact entry. A corrupt cache degrades to a smaller cache, not
+//     a failed server.
+//   - Reads re-verify integrity: the entry's stored sha256 must match its
+//     payload bytes. A mismatch (bit rot, external truncation) quarantines
+//     the entry and reports a miss, so the caller transparently recomputes.
+//
+// Entry format (one file per key, sharded by the key's first byte):
+//
+//	afterimage-store/1 <key> <sha256(payload) hex> <len(payload)>\n
+//	<payload bytes, verbatim>
+//
+// The payload is stored verbatim — not re-encoded — so the bytes a cache hit
+// returns are exactly the bytes Put was given, which is what the service's
+// byte-identity guarantee is stated over.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"afterimage/internal/runner"
+	"afterimage/internal/telemetry"
+)
+
+// Schema versions the on-disk entry format. An entry carrying a different
+// schema token is quarantined rather than misread.
+const Schema = "afterimage-store/1"
+
+// QuarantineDir is the subdirectory (under the store root) that collects
+// torn and corrupt files found by the recovery scan or a failed read.
+const QuarantineDir = "quarantine"
+
+const entrySuffix = ".entry"
+
+// Store is a directory of content-addressed entries. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex // serialises quarantine renames and the recovery scan
+	qseq int        // quarantine name de-duplicator
+
+	hits, misses, writes        *telemetry.Counter
+	corrupt, recovered, entries *telemetry.Counter
+}
+
+// Open prepares the store rooted at dir (created if absent), runs the
+// recovery scan, and registers the store.* counters on reg (nil disables
+// metrics). It returns the ready store and how many entries the scan
+// quarantined.
+func Open(dir string, reg *telemetry.Registry) (*Store, int, error) {
+	if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		return nil, 0, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Store{dir: dir}
+	if reg != nil {
+		s.hits = reg.Counter("store.hits")
+		s.misses = reg.Counter("store.misses")
+		s.writes = reg.Counter("store.writes")
+		s.corrupt = reg.Counter("store.corrupt")
+		s.recovered = reg.Counter("store.recovery.quarantined")
+		s.entries = reg.Counter("store.recovery.entries")
+	}
+	quarantined, err := s.recoveryScan()
+	if err != nil {
+		return nil, quarantined, err
+	}
+	return s, quarantined, nil
+}
+
+// Dir reports the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// ValidKey reports whether key is a well-formed store key: 64 lowercase hex
+// characters (a sha256 digest). Everything else is rejected before it can
+// reach the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Key hashes arbitrary canonical bytes into a store key.
+func Key(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// path maps a key to its entry file, sharded by the first two hex digits so
+// a large cache does not put millions of names in one directory.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+entrySuffix)
+}
+
+// Get returns the payload stored under key and whether it was present. An
+// entry that fails the integrity check is quarantined and reported as a
+// miss — the caller recomputes and the next Put rewrites it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !ValidKey(key) {
+		inc(s.misses)
+		return nil, false
+	}
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		inc(s.misses)
+		return nil, false
+	}
+	body, err := decodeEntry(key, raw)
+	if err != nil {
+		inc(s.corrupt)
+		inc(s.misses)
+		s.quarantine(p)
+		return nil, false
+	}
+	inc(s.hits)
+	return body, true
+}
+
+// Put stores payload under key with the full atomic-durable write sequence.
+// Re-putting an existing key is allowed and atomic (last write wins); with a
+// deterministic producer both writes hold identical bytes anyway.
+func (s *Store) Put(key string, payload []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q (want 64 lowercase hex chars)", key)
+	}
+	p := s.path(key)
+	shard := filepath.Dir(p)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: create shard: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %s %d\n", Schema, key, hex.EncodeToString(sum[:]), len(payload))
+
+	tmp := p + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	if _, err := f.WriteString(header); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write payload: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsync entry: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close entry: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("store: publish entry: %w", err)
+	}
+	if err := runner.SyncDir(shard); err != nil {
+		return fmt.Errorf("store: fsync shard dir: %w", err)
+	}
+	inc(s.writes)
+	return nil
+}
+
+// Len counts the intact-named entries currently on disk (integrity is not
+// re-verified; Get does that per entry).
+func (s *Store) Len() int {
+	n := 0
+	s.walkEntries(func(string, fs.DirEntry) { n++ })
+	return n
+}
+
+// Keys lists every stored key (unverified), in no particular order.
+func (s *Store) Keys() []string {
+	var keys []string
+	s.walkEntries(func(path string, _ fs.DirEntry) {
+		keys = append(keys, strings.TrimSuffix(filepath.Base(path), entrySuffix))
+	})
+	return keys
+}
+
+// QuarantinedFiles lists the files the recovery scan or failed reads set
+// aside.
+func (s *Store) QuarantinedFiles() []string {
+	ents, err := os.ReadDir(filepath.Join(s.dir, QuarantineDir))
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// walkEntries visits every *.entry file outside the quarantine directory.
+func (s *Store) walkEntries(fn func(path string, d fs.DirEntry)) {
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil // a vanishing shard is not a walk failure
+		}
+		if d.IsDir() {
+			if d.Name() == QuarantineDir && filepath.Dir(path) == s.dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), entrySuffix) {
+			fn(path, d)
+		}
+		return nil
+	})
+}
+
+// recoveryScan walks the store once at Open: leftover temp files are
+// quarantined unconditionally (a crash interrupted their write), and every
+// entry file is decoded and integrity-checked, with failures quarantined.
+// The scan itself never fails the Open for per-file damage — that is the
+// point — but an unreadable root does.
+func (s *Store) recoveryScan() (int, error) {
+	if _, err := os.ReadDir(s.dir); err != nil {
+		return 0, fmt.Errorf("store: recovery scan: %w", err)
+	}
+	quarantined := 0
+	var bad []string
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			if err == nil && d.Name() == QuarantineDir && filepath.Dir(path) == s.dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".tmp") {
+			bad = append(bad, path)
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), entrySuffix) {
+			return nil // foreign file; leave it alone
+		}
+		key := strings.TrimSuffix(d.Name(), entrySuffix)
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			bad = append(bad, path)
+			return nil
+		}
+		if _, derr := decodeEntry(key, raw); derr != nil {
+			bad = append(bad, path)
+			return nil
+		}
+		inc(s.entries)
+		return nil
+	})
+	for _, p := range bad {
+		s.quarantine(p)
+		quarantined++
+	}
+	add(s.recovered, uint64(quarantined))
+	return quarantined, nil
+}
+
+// quarantine moves a damaged file into the quarantine directory under a
+// unique name. Failures fall back to removal — a torn entry must not keep
+// masquerading as a valid one.
+func (s *Store) quarantine(path string) {
+	s.mu.Lock()
+	s.qseq++
+	dst := filepath.Join(s.dir, QuarantineDir, fmt.Sprintf("%s.%d", filepath.Base(path), s.qseq))
+	s.mu.Unlock()
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+}
+
+// decodeEntry parses and verifies one entry file: schema token, key match,
+// declared length, and the payload's sha256.
+func decodeEntry(key string, raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("store: entry has no header line")
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("store: header has %d fields, want 4", len(fields))
+	}
+	if fields[0] != Schema {
+		return nil, fmt.Errorf("store: entry schema %q, want %q", fields[0], Schema)
+	}
+	if fields[1] != key {
+		return nil, fmt.Errorf("store: entry key %q does not match file name %q", fields[1], key)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("store: bad payload length %q", fields[3])
+	}
+	body := raw[nl+1:]
+	if len(body) != n {
+		return nil, fmt.Errorf("store: payload is %d bytes, header declares %d", len(body), n)
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != fields[2] {
+		return nil, fmt.Errorf("store: payload sha256 mismatch")
+	}
+	return body, nil
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func add(c *telemetry.Counter, n uint64) {
+	if c != nil {
+		c.Add(n)
+	}
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"afterimage/internal/telemetry"
+)
+
+func openT(t *testing.T, dir string, reg *telemetry.Registry) (*Store, int) {
+	t.Helper()
+	s, quarantined, err := Open(dir, reg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, quarantined
+}
+
+func TestPutGetRoundTripVerbatim(t *testing.T) {
+	s, _ := openT(t, t.TempDir(), nil)
+	key := Key([]byte("campaign-1"))
+	payload := []byte("{\n  \"curve\": [1, 2, 3],\n  \"html\": \"<&>\"\n}\n")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored entry reported as miss")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload not verbatim:\ngot  %q\nwant %q", got, payload)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v, want [%s]", keys, key)
+	}
+}
+
+func TestGetMissAndInvalidKeys(t *testing.T) {
+	s, _ := openT(t, t.TempDir(), nil)
+	if _, ok := s.Get(Key([]byte("absent"))); ok {
+		t.Fatal("absent key reported as hit")
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("Z", 64), "../../../../etc/passwd"} {
+		if _, ok := s.Get(bad); ok {
+			t.Fatalf("invalid key %q reported as hit", bad)
+		}
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put accepted invalid key %q", bad)
+		}
+	}
+}
+
+func TestCorruptEntryQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s, _ := openT(t, dir, reg)
+	key := Key([]byte("to-corrupt"))
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bytes under the store: the header's sha256 no longer
+	// matches.
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still present: %v", err)
+	}
+	if q := s.QuarantinedFiles(); len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want exactly one file", q)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Get("store.corrupt"); v != 1 {
+		t.Fatalf("store.corrupt = %d, want 1", v)
+	}
+
+	// The slot is writable again, and the rewritten entry serves.
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "payload" {
+		t.Fatalf("rewrite after quarantine failed: %q %v", got, ok)
+	}
+}
+
+func TestRePutLastWriteWins(t *testing.T) {
+	s, _ := openT(t, t.TempDir(), nil)
+	key := Key([]byte("k"))
+	if err := s.Put(key, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != "second" {
+		t.Fatalf("Get = %q %v, want \"second\"", got, ok)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, _ := openT(t, t.TempDir(), reg)
+	key := Key([]byte("m"))
+	s.Get(key)
+	s.Put(key, []byte("v"))
+	s.Get(key)
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"store.misses": 1, "store.writes": 1, "store.hits": 1,
+	} {
+		if v, _ := snap.Get(name); v != want {
+			t.Errorf("%s = %d, want %d", name, v, want)
+		}
+	}
+}
+
+func TestOpenMissingRootCreatesIt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	s, quarantined := openT(t, dir, nil)
+	if quarantined != 0 {
+		t.Fatalf("fresh store quarantined %d files", quarantined)
+	}
+	if err := s.Put(Key([]byte("x")), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
