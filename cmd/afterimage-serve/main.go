@@ -15,6 +15,13 @@
 // Resubmitting the same spec is a cache hit (X-Afterimage-Cache: hit) with
 // byte-identical body. SIGTERM drains gracefully: in-flight campaigns are
 // checkpointed and a restarted server resumes them on their next request.
+//
+// Observability: -log-format/-log-level control structured stderr logging
+// (every campaign line carries its correlation ID), -span-log appends one
+// JSONL span record per completed campaign (validate with
+// afterimage-tracecheck -format spans), -pprof serves net/http/pprof, and
+// GET /metrics serves Prometheus 0.0.4 exposition to scrapers that ask for
+// it (Accept: text/plain; version=0.0.4) alongside the legacy text format.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"syscall"
 	"time"
 
+	"afterimage/internal/cliobs"
+	"afterimage/internal/obslog"
 	"afterimage/internal/server"
 	"afterimage/internal/store"
 	"afterimage/internal/telemetry"
@@ -45,22 +54,43 @@ func main() {
 		defaultTimout = flag.Duration("campaign-timeout", 0, "default per-campaign wall deadline when the spec sets none (0 = none); expiry checkpoints and returns 504")
 		retryAfter    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight campaigns to checkpoint and unwind")
+		spanLogPath   = flag.String("span-log", "", "append one JSONL span record per completed campaign to this file (validate with afterimage-tracecheck -format spans)")
 	)
+	obs := cliobs.Register()
 	flag.Parse()
+	obs.Start() // -pprof
+
+	log, err := obs.Logger()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+		os.Exit(2)
+	}
+	log = log.With(obslog.F("component", "afterimage-serve"))
+
+	var spanLog *os.File
+	if *spanLogPath != "" {
+		spanLog, err = os.OpenFile(*spanLogPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Error("open span log", obslog.F("path", *spanLogPath), obslog.F("err", err))
+			os.Exit(1)
+		}
+		defer spanLog.Close()
+	}
 
 	reg := telemetry.NewRegistry()
 	st, quarantined, err := store.Open(*storeDir, reg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-serve: open store: %v\n", err)
+		log.Error("open store", obslog.F("dir", *storeDir), obslog.F("err", err))
 		os.Exit(1)
 	}
+	st.SetLogger(log)
 	if quarantined > 0 {
-		fmt.Fprintf(os.Stderr, "afterimage-serve: recovery scan quarantined %d torn/corrupt store files (see %s)\n",
-			quarantined, store.QuarantineDir)
+		log.Warn("recovery scan quarantined torn/corrupt store files",
+			obslog.F("count", quarantined), obslog.F("dir", store.QuarantineDir))
 	}
-	fmt.Printf("store: %s (%d entries)\n", st.Dir(), st.Len())
+	log.Info("store opened", obslog.F("dir", st.Dir()), obslog.F("entries", st.Len()))
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Store:          st,
 		CheckpointDir:  *ckptDir,
 		Registry:       reg,
@@ -70,16 +100,21 @@ func main() {
 		PointWorkers:   *pointWorkers,
 		DefaultTimeout: *defaultTimout,
 		RetryAfter:     *retryAfter,
-	})
+		Logger:         log,
+	}
+	if spanLog != nil {
+		cfg.SpanLog = spanLog
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+		log.Error("server init failed", obslog.F("err", err))
 		os.Exit(1)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s\n", *addr)
+		log.Info("listening", obslog.F("addr", *addr))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -88,7 +123,7 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+			log.Error("listener failed", obslog.F("err", err))
 			os.Exit(1)
 		}
 	case <-ctx.Done():
@@ -98,15 +133,15 @@ func main() {
 	// their next point boundary (each completed point is already
 	// checkpointed), wait for them to unwind, then close the listener. A
 	// restart resumes every interrupted campaign from its checkpoint.
-	fmt.Fprintln(os.Stderr, "afterimage-serve: draining (in-flight campaigns checkpoint and stop)...")
+	log.Info("draining: in-flight campaigns checkpoint and stop")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-serve: %v\n", err)
+		log.Warn("drain", obslog.F("err", err))
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "afterimage-serve: shutdown: %v\n", err)
+		log.Error("shutdown", obslog.F("err", err))
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "afterimage-serve: drained cleanly")
+	log.Info("drained cleanly")
 }

@@ -1,13 +1,24 @@
-// Command afterimage-tracecheck validates a Chrome trace_event JSON file
-// produced by the -trace flag of the other afterimage binaries: the
-// trace-event schema (object format, known phase types, non-negative
-// timestamps, balanced B/E pairs per track). Exit status 0 means the file
-// loads in chrome://tracing and Perfetto.
+// Command afterimage-tracecheck validates the observability artifacts the
+// other afterimage binaries produce, for CI gating:
+//
+//	-format chrome  (default) Chrome trace_event JSON from the -trace flag:
+//	                object format, known phase types, non-negative
+//	                timestamps, balanced B/E pairs per track. Exit 0 means
+//	                the file loads in chrome://tracing and Perfetto.
+//	-format spans   campaign span logs (afterimage-serve -span-log, or
+//	                GET /v1/campaigns/{key}/trace): JSONL of schema-stamped
+//	                records whose trees obey the campaign→stage→job→
+//	                attempt→phase taxonomy.
+//	-format prom    Prometheus 0.0.4 text exposition (GET /metrics with
+//	                Accept: text/plain; version=0.0.4): TYPE-before-sample
+//	                ordering, legal names, cumulative histogram buckets with
+//	                +Inf == _count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"afterimage/internal/telemetry"
@@ -15,11 +26,27 @@ import (
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the per-file summary on success")
+	format := flag.String("format", "chrome", "artifact type to validate: chrome, spans, or prom")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: afterimage-tracecheck [-q] trace.json ...")
+
+	var validate func(io.Reader) (int, error)
+	var unit string
+	switch *format {
+	case "chrome":
+		validate, unit = telemetry.ValidateChromeTrace, "trace events"
+	case "spans":
+		validate, unit = telemetry.ValidateSpanLog, "span records"
+	case "prom", "prometheus":
+		validate, unit = telemetry.ValidatePrometheus, "samples"
+	default:
+		fmt.Fprintf(os.Stderr, "afterimage-tracecheck: unknown -format %q (want chrome, spans, or prom)\n", *format)
 		os.Exit(2)
 	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: afterimage-tracecheck [-q] [-format chrome|spans|prom] file ...")
+		os.Exit(2)
+	}
+
 	failed := 0
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
@@ -28,15 +55,15 @@ func main() {
 			failed++
 			continue
 		}
-		n, err := telemetry.ValidateChromeTrace(f)
+		n, err := validate(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: invalid trace: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "%s: invalid %s: %v\n", path, *format, err)
 			failed++
 			continue
 		}
 		if !*quiet {
-			fmt.Printf("%s: ok (%d trace events)\n", path, n)
+			fmt.Printf("%s: ok (%d %s)\n", path, n, unit)
 		}
 	}
 	if failed > 0 {

@@ -28,6 +28,10 @@ type Client struct {
 	Base string
 	// HTTP overrides the transport (default http.DefaultClient).
 	HTTP *http.Client
+	// Correlation, when set, rides every Submit as the X-Campaign-Id header:
+	// the server threads it through all layers and the campaign's span tree
+	// carries it. Empty lets the server mint one (echoed on the response).
+	Correlation string
 }
 
 // New builds a client for the service at base.
@@ -48,6 +52,9 @@ type Result struct {
 	Key string
 	// Source is hit | miss | join (from X-Afterimage-Cache).
 	Source string
+	// CorrelationID is the campaign correlation ID the server echoed (from
+	// X-Campaign-Id) — the client's own if it sent one, minted otherwise.
+	CorrelationID string
 	// Body is the SweepResult JSON, byte-for-byte as the server stores it.
 	Body []byte
 }
@@ -78,6 +85,9 @@ func (c *Client) Submit(ctx context.Context, spec server.CampaignSpec) (*Result,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Correlation != "" {
+		req.Header.Set(server.HeaderCampaignID, c.Correlation)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -90,9 +100,10 @@ func (c *Client) Submit(ctx context.Context, spec server.CampaignSpec) (*Result,
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return &Result{
-			Key:    resp.Header.Get(server.HeaderKey),
-			Source: resp.Header.Get(server.HeaderCache),
-			Body:   body,
+			Key:           resp.Header.Get(server.HeaderKey),
+			Source:        resp.Header.Get(server.HeaderCache),
+			CorrelationID: resp.Header.Get(server.HeaderCampaignID),
+			Body:          body,
 		}, nil
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return nil, &RetryableError{
@@ -216,7 +227,7 @@ func (c *Client) Events(ctx context.Context, key string, fn func(server.Progress
 	return sc.Err()
 }
 
-// Metrics fetches the /metrics text snapshot.
+// Metrics fetches the /metrics text snapshot (legacy "name value" format).
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
 	if err != nil {
@@ -229,6 +240,50 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	return string(body), err
+}
+
+// Prometheus fetches /metrics in the Prometheus 0.0.4 text exposition,
+// negotiated via the Accept header exactly as a real scraper would.
+func (c *Client) Prometheus(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", "text/plain; version=0.0.4")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Trace fetches a completed campaign's span record (one JSONL line) from
+// GET /v1/campaigns/{key}/trace. (nil, false, nil) means the server retains
+// no trace for the key — never completed here, or evicted.
+func (c *Client) Trace(ctx context.Context, key string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+key+"/trace", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("client: trace: %s: %s", resp.Status, errMsg(body))
+	}
 }
 
 // WaitReady polls /healthz until the server answers or ctx expires — the

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"afterimage"
+	"afterimage/internal/obslog"
 )
 
 // Flags holds the parsed observability options and the lab under
@@ -34,6 +35,11 @@ type Flags struct {
 	// AuditEvery is the invariant-audit cadence (Options.AuditEvery):
 	// audit the full machine state every N domain switches, 0 = off.
 	AuditEvery int
+	// LogFormat selects the structured-log encoding: text (default) or json.
+	LogFormat string
+	// LogLevel is the minimum severity emitted: debug, info (default),
+	// warn, or error.
+	LogLevel string
 
 	lab *afterimage.Lab
 }
@@ -47,7 +53,24 @@ func Register() *Flags {
 	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry registry snapshot after the run")
 	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.IntVar(&f.AuditEvery, "audit", 0, "audit the simulator's structural invariants every N domain switches; a failing audit aborts the experiment with a corruption fault (0 = off)")
+	flag.StringVar(&f.LogFormat, "log-format", "text", "structured log encoding: text or json (one object per line, stable field order)")
+	flag.StringVar(&f.LogLevel, "log-level", "info", "minimum log severity: debug, info, warn, or error")
 	return f
+}
+
+// Logger builds the structured stderr logger the -log-format/-log-level
+// flags describe. Call after flag.Parse; flag errors are reported rather
+// than silently defaulted.
+func (f *Flags) Logger() (*obslog.Logger, error) {
+	level, err := obslog.ParseLevel(f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	format, err := obslog.ParseFormat(f.LogFormat)
+	if err != nil {
+		return nil, err
+	}
+	return obslog.New(os.Stderr, level, format), nil
 }
 
 // LabOptions folds the observability flags that configure the lab itself

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"afterimage/internal/obslog"
 	"afterimage/internal/sim"
 	"afterimage/internal/telemetry"
 )
@@ -121,8 +122,13 @@ type Options struct {
 	Classify func(error) Class
 	// Metrics, when set, receives the runner counters (runner.jobs.started/
 	// completed/retried/resumed/degraded/skipped, runner.backoff.waits/
-	// nanos, runner.checkpoint.writes).
+	// nanos, runner.checkpoint.writes) and the runner.attempt.us wall-time
+	// histogram.
 	Metrics *telemetry.Registry
+	// Logger, when set, receives structured per-job events (retries,
+	// degradations), stamped with the campaign's correlation ID from the
+	// run context. nil disables logging.
+	Logger *obslog.Logger
 	// Sleep replaces the backoff sleep (tests). nil sleeps on a timer that
 	// also aborts on campaign cancellation.
 	Sleep func(time.Duration)
@@ -173,7 +179,12 @@ type JobResult struct {
 type counters struct {
 	started, completed, retried, resumed, degraded, skipped *telemetry.Counter
 	backoffWaits, backoffNanos, checkpointWrites            *telemetry.Counter
+	attemptUS                                               *telemetry.Histogram
 }
+
+// attemptBounds bucket one attempt's wall time in µs — a tiny sweep point is
+// sub-millisecond, a full-report point can run for seconds.
+var attemptBounds = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000}
 
 func newCounters(reg *telemetry.Registry) counters {
 	if reg == nil {
@@ -189,6 +200,7 @@ func newCounters(reg *telemetry.Registry) counters {
 		backoffWaits:     reg.Counter("runner.backoff.waits"),
 		backoffNanos:     reg.Counter("runner.backoff.nanos"),
 		checkpointWrites: reg.Counter("runner.checkpoint.writes"),
+		attemptUS:        reg.Histogram("runner.attempt.us", attemptBounds),
 	}
 }
 
@@ -329,7 +341,11 @@ func runJob(ctx context.Context, job Job, o Options, c counters) JobResult {
 			jctx, cancel = context.WithTimeout(ctx, o.JobTimeout)
 		}
 		inc(c.started)
+		began := time.Now()
 		val, err := safeRun(jctx, job, attempt)
+		if c.attemptUS != nil {
+			c.attemptUS.Observe(uint64(time.Since(began).Microseconds()))
+		}
 		timedOut := jctx.Err() != nil && ctx.Err() == nil
 		cancel()
 		r.Attempts = attempt + 1
@@ -371,6 +387,9 @@ func runJob(ctx context.Context, job Job, o Options, c counters) JobResult {
 			d := Delay(o.BackoffBase, o.BackoffMax, o.Seed, job.Key, attempt)
 			inc(c.backoffWaits)
 			add(c.backoffNanos, uint64(d))
+			o.Logger.Ctx(ctx).Warn("job retrying", obslog.F("job", job.Key),
+				obslog.F("attempt", attempt+1), obslog.F("fault", r.FaultKind),
+				obslog.F("backoff", d), obslog.F("err", err))
 			sleepCtx(ctx, d, o.Sleep)
 			continue
 		}
@@ -382,6 +401,9 @@ func runJob(ctx context.Context, job Job, o Options, c counters) JobResult {
 		}
 		r.Degraded = true
 		inc(c.degraded)
+		o.Logger.Ctx(ctx).Warn("job degraded", obslog.F("job", job.Key),
+			obslog.F("attempts", r.Attempts), obslog.F("class", class.String()),
+			obslog.F("err", err))
 		return r
 	}
 }

@@ -37,7 +37,12 @@ type admission struct {
 
 	shed, quotaRejected, admitted *telemetry.Counter
 	waiting                       *telemetry.Gauge
+	queueWait                     *telemetry.Histogram
 }
+
+// queueWaitBounds bucket the admission wait (µs): sub-millisecond when slots
+// are free, up to tens of seconds when the queue is the bottleneck.
+var queueWaitBounds = []uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
 func newAdmission(maxConcurrent, queueDepth, tenantQuota int, retryAfter time.Duration, reg *telemetry.Registry) *admission {
 	a := &admission{
@@ -52,6 +57,7 @@ func newAdmission(maxConcurrent, queueDepth, tenantQuota int, retryAfter time.Du
 		a.quotaRejected = reg.Counter("server.admission.quota_rejected")
 		a.admitted = reg.Counter("server.admission.admitted")
 		a.waiting = reg.Gauge("server.admission.queued")
+		a.queueWait = reg.Histogram("server.queue.wait.us", queueWaitBounds)
 	}
 	return a
 }
@@ -82,6 +88,7 @@ func (a *admission) acquire(ctx context.Context, tenant string) (func(), *apiErr
 		a.mu.Unlock()
 	}
 
+	enqueued := time.Now()
 	if n := a.queued.Add(1); n > a.queueDepth {
 		a.queued.Add(-1)
 		releaseTenant()
@@ -105,6 +112,9 @@ func (a *admission) acquire(ctx context.Context, tenant string) (func(), *apiErr
 	a.queued.Add(-1)
 	if a.waiting != nil {
 		a.waiting.Set(a.queued.Load())
+	}
+	if a.queueWait != nil {
+		a.queueWait.Observe(uint64(time.Since(enqueued).Microseconds()))
 	}
 	inc(a.admitted)
 

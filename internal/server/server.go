@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"afterimage"
+	"afterimage/internal/obslog"
 	"afterimage/internal/runner"
 	"afterimage/internal/store"
 	"afterimage/internal/telemetry"
@@ -79,6 +81,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// RetryAfter is the hint attached to 429/503 responses (default 2s).
 	RetryAfter time.Duration
+	// Logger receives structured request/campaign logs, stamped with each
+	// campaign's correlation ID. nil disables logging (the nil *Logger is
+	// safe to call).
+	Logger *obslog.Logger
+	// SpanLog, when set, receives one JSONL span record per completed
+	// campaign (telemetry.SpanRecord lines; validate with
+	// telemetry.ValidateSpanLog). Writes are serialised by the server.
+	SpanLog io.Writer
+	// TraceRetention bounds how many completed campaigns' span trees the
+	// server keeps for GET /v1/campaigns/{key}/trace (default 256, FIFO).
+	TraceRetention int
 }
 
 // Server handles the campaign API. Create with New, serve via Handler, stop
@@ -98,6 +111,9 @@ type Server struct {
 
 	admission *admission
 	progress  *progressHub
+	traces    *traceStore
+	log       *obslog.Logger
+	spanLogMu sync.Mutex
 
 	requests, cacheHits, cacheMisses  *telemetry.Counter
 	joined, executed                  *telemetry.Counter
@@ -115,6 +131,7 @@ type Server struct {
 // campaign checkpoints and releases its slot instead of running for nobody.
 type flight struct {
 	key    string
+	corr   string // correlation ID of the request that started the flight
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed after body/err are set
@@ -191,6 +208,8 @@ func New(cfg Config) (*Server, error) {
 		flights:    make(map[string]*flight),
 		admission:  newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.TenantQuota, cfg.RetryAfter, reg),
 		progress:   newProgressHub(),
+		traces:     newTraceStore(cfg.TraceRetention),
+		log:        cfg.Logger,
 
 		requests:           reg.Counter("server.requests"),
 		cacheHits:          reg.Counter("server.cache.hits"),
@@ -215,6 +234,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns/{key}", s.handleGet)
 	mux.HandleFunc("GET /v1/campaigns/{key}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{key}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -229,6 +249,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.baseCancel()
+	s.log.Info("drain started")
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -236,8 +257,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
+		s.log.Warn("drain incomplete", obslog.F("err", ctx.Err()))
 		return fmt.Errorf("server: drain incomplete: %w", ctx.Err())
 	}
 }
@@ -249,6 +272,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // admission → execute.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	// Correlation first: accepted from the client or minted, echoed on every
+	// response (including errors), and threaded through the whole campaign.
+	corr := requestCorrelation(r)
+	w.Header().Set(HeaderCampaignID, corr)
+	rctx := obslog.WithCorrelation(r.Context(), corr)
+	rlog := s.log.Ctx(rctx)
+
 	var spec CampaignSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -275,8 +305,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Cache first: hits cost one read and bypass admission entirely — they
 	// are served even while draining.
-	if body, ok := s.st.Get(key); ok {
+	if body, ok := s.st.GetCtx(rctx, key); ok {
 		s.cacheHits.Inc()
+		rlog.Debug("cache hit", obslog.F("key", key), obslog.F("tenant", spec.Tenant))
 		writeResult(w, key, "hit", body)
 		return
 	}
@@ -284,14 +315,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if s.draining.Load() {
 		s.drainRejected.Inc()
+		rlog.Warn("submit rejected: draining", obslog.F("key", key), obslog.F("tenant", spec.Tenant))
 		writeAPIError(w, key, &apiError{Status: http.StatusServiceUnavailable,
 			Msg: "server is draining", RetryAfter: s.cfg.RetryAfter})
 		return
 	}
 
-	f, started := s.flightFor(key, spec)
+	f, started := s.flightFor(key, spec, corr)
 	if !started {
 		s.joined.Inc()
+		rlog.Debug("joined in-flight campaign", obslog.F("key", key),
+			obslog.F("flight_corr", f.corr))
 	}
 	defer f.leave()
 
@@ -314,8 +348,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, key, source, f.body)
 }
 
-// flightFor joins the in-flight execution for key or starts one.
-func (s *Server) flightFor(key string, spec CampaignSpec) (*flight, bool) {
+// flightFor joins the in-flight execution for key or starts one. The flight
+// keeps the correlation ID of the request that started it: joiners get their
+// own IDs echoed on their responses, but the execution — and therefore the
+// span tree — belongs to the starter's ID.
+func (s *Server) flightFor(key string, spec CampaignSpec, corr string) (*flight, bool) {
 	s.fmu.Lock()
 	defer s.fmu.Unlock()
 	if f, ok := s.flights[key]; ok {
@@ -333,7 +370,11 @@ func (s *Server) flightFor(key string, spec CampaignSpec) (*flight, bool) {
 	} else {
 		fctx, cancel = context.WithCancel(s.baseCtx)
 	}
-	f := &flight{key: key, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	// The flight context carries the correlation ID below the HTTP layer:
+	// admission, the store, the runner, and the per-point simulator labs all
+	// see it via obslog.Correlation.
+	fctx = obslog.WithCorrelation(fctx, corr)
+	f := &flight{key: key, corr: corr, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
 	s.flights[key] = f
 	s.wg.Add(1)
 	go s.execute(f, spec)
@@ -351,21 +392,30 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 		close(f.done)
 	}()
 
+	flog := s.log.Ctx(f.ctx)
 	s.progress.publish(ProgressEvent{Type: "queued", Key: f.key, Total: len(spec.Intensities)})
+	flog.Info("campaign queued", obslog.F("key", f.key), obslog.F("tenant", spec.Tenant),
+		obslog.F("points", len(spec.Intensities)))
 	release, aerr := s.admission.acquire(f.ctx, spec.Tenant)
 	if aerr != nil {
 		f.err = aerr
+		flog.Warn("campaign rejected at admission", obslog.F("key", f.key),
+			obslog.F("status", aerr.Status), obslog.F("err", aerr.Msg))
 		s.progress.publish(ProgressEvent{Type: "error", Key: f.key, Err: aerr.Msg})
 		return
 	}
 	defer release()
+	flog.Info("campaign admitted", obslog.F("key", f.key))
 
 	body, phases, err := s.runCampaign(f.ctx, f.key, spec)
 	if err != nil {
 		f.err = s.campaignError(f.ctx, err)
+		flog.Warn("campaign failed", obslog.F("key", f.key),
+			obslog.F("status", f.err.Status), obslog.F("err", err))
 		s.progress.publish(ProgressEvent{Type: "error", Key: f.key, Err: f.err.Msg})
 		return
 	}
+	flog.Info("campaign completed", obslog.F("key", f.key), obslog.F("bytes", len(body)))
 	f.body = body
 	if len(phases) > 0 {
 		s.progress.publish(ProgressEvent{Type: "phases", Key: f.key, Phases: phases})
@@ -403,6 +453,7 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 	so.Runner = runner.Options{
 		Workers:        s.cfg.PointWorkers,
 		Metrics:        s.reg,
+		Logger:         s.log,
 		CheckpointPath: ckpt,
 		Resume:         true,
 		OnCheckpoint: func(completed int) {
@@ -420,11 +471,18 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 	if err != nil {
 		return nil, nil, fmt.Errorf("encode result: %w", err)
 	}
-	if err := s.st.Put(key, body); err != nil {
+	if err := s.st.PutCtx(ctx, key, body); err != nil {
 		return nil, nil, fmt.Errorf("persist result: %w", err)
 	}
 	os.Remove(ckpt) // the store entry supersedes it; best-effort
 	s.completed.Inc()
+
+	// The span tree is derived from the deterministic result, so a resumed
+	// campaign reports the identical trace an uninterrupted run would have —
+	// the byte-identity guarantee extends to observability.
+	rec := buildCampaignSpans(obslog.Correlation(ctx), key, spec, res)
+	s.traces.put(rec)
+	s.appendSpanLog(rec)
 	return body, lab.PhaseSummaries(), nil
 }
 
@@ -530,17 +588,51 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders the registry snapshot as sorted "name value" text —
-// runner.*, server.*, store.*, and per-tenant counters in one namespace.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics renders the registry snapshot. The default is the legacy
+// sorted "name value" text (byte-identical to what it always was); a scraper
+// that asks for Prometheus — Accept: text/plain; version=0.0.4 (or an
+// OpenMetrics type), or ?format=prometheus — gets the 0.0.4 text exposition
+// with HELP/TYPE metadata, per-tenant counters as a tenant label, and the
+// latency histograms as cumulative _bucket series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		telemetry.WritePrometheus(w, s.reg.Snapshot())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.reg.Snapshot().String())
 }
 
+// wantsPrometheus is the /metrics content negotiation: an explicit
+// ?format=prometheus wins, otherwise the Accept header decides (the version
+// token Prometheus scrapers send, or an OpenMetrics media type).
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "legacy":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleHealthz is the load-balancer probe: 200 while serving, 503 once
+// Drain has begun so replicas fall out of rotation before the listener
+// closes. The body always carries the drain state either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"draining": true,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"draining": s.draining.Load(),
+		"draining": false,
 	})
 }
 

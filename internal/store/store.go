@@ -32,6 +32,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -41,7 +42,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"afterimage/internal/obslog"
 	"afterimage/internal/runner"
 	"afterimage/internal/telemetry"
 )
@@ -66,7 +69,14 @@ type Store struct {
 
 	hits, misses, writes        *telemetry.Counter
 	corrupt, recovered, entries *telemetry.Counter
+	readUS, writeUS             *telemetry.Histogram
+
+	log *obslog.Logger
 }
+
+// latencyBounds bucket store I/O latency in µs: a cached read is tens of µs,
+// a durable (double-fsync) write can reach tens of ms on loaded disks.
+var latencyBounds = []uint64{10, 100, 1_000, 10_000, 100_000, 1_000_000}
 
 // Open prepares the store rooted at dir (created if absent), runs the
 // recovery scan, and registers the store.* counters on reg (nil disables
@@ -84,6 +94,8 @@ func Open(dir string, reg *telemetry.Registry) (*Store, int, error) {
 		s.corrupt = reg.Counter("store.corrupt")
 		s.recovered = reg.Counter("store.recovery.quarantined")
 		s.entries = reg.Counter("store.recovery.entries")
+		s.readUS = reg.Histogram("store.read.us", latencyBounds)
+		s.writeUS = reg.Histogram("store.write.us", latencyBounds)
 	}
 	quarantined, err := s.recoveryScan()
 	if err != nil {
@@ -123,14 +135,32 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+entrySuffix)
 }
 
+// SetLogger installs the structured logger the store stamps quarantine and
+// write events with. Call before serving; a nil logger (the default)
+// disables logging.
+func (s *Store) SetLogger(l *obslog.Logger) { s.log = l }
+
 // Get returns the payload stored under key and whether it was present. An
 // entry that fails the integrity check is quarantined and reported as a
 // miss — the caller recomputes and the next Put rewrites it.
 func (s *Store) Get(key string) ([]byte, bool) {
+	return s.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get under a request context: the read latency lands in the
+// store.read.us histogram and integrity failures are logged with the
+// context's correlation ID, tying a quarantine to the campaign that hit it.
+func (s *Store) GetCtx(ctx context.Context, key string) ([]byte, bool) {
 	if !ValidKey(key) {
 		inc(s.misses)
 		return nil, false
 	}
+	start := time.Now()
+	defer func() {
+		if s.readUS != nil {
+			s.readUS.Observe(uint64(time.Since(start).Microseconds()))
+		}
+	}()
 	p := s.path(key)
 	raw, err := os.ReadFile(p)
 	if err != nil {
@@ -142,6 +172,8 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		inc(s.corrupt)
 		inc(s.misses)
 		s.quarantine(p)
+		s.log.Ctx(ctx).Warn("store entry failed integrity check; quarantined",
+			obslog.F("key", key), obslog.F("err", err))
 		return nil, false
 	}
 	inc(s.hits)
@@ -152,9 +184,22 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // Re-putting an existing key is allowed and atomic (last write wins); with a
 // deterministic producer both writes hold identical bytes anyway.
 func (s *Store) Put(key string, payload []byte) error {
+	return s.PutCtx(context.Background(), key, payload)
+}
+
+// PutCtx is Put under a request context: write latency lands in the
+// store.write.us histogram and the write is logged with the context's
+// correlation ID.
+func (s *Store) PutCtx(ctx context.Context, key string, payload []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q (want 64 lowercase hex chars)", key)
 	}
+	start := time.Now()
+	defer func() {
+		if s.writeUS != nil {
+			s.writeUS.Observe(uint64(time.Since(start).Microseconds()))
+		}
+	}()
 	p := s.path(key)
 	shard := filepath.Dir(p)
 	if err := os.MkdirAll(shard, 0o755); err != nil {
@@ -190,6 +235,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		return fmt.Errorf("store: fsync shard dir: %w", err)
 	}
 	inc(s.writes)
+	s.log.Ctx(ctx).Debug("store write", obslog.F("key", key), obslog.F("bytes", len(payload)))
 	return nil
 }
 

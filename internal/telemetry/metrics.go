@@ -109,10 +109,15 @@ func (s HistogramSnapshot) String() string {
 		if c == 0 {
 			continue
 		}
-		if i < len(s.Bounds) {
+		switch {
+		case i < len(s.Bounds):
 			fmt.Fprintf(&b, " ≤%d:%d", s.Bounds[i], c)
-		} else {
+		case len(s.Bounds) > 0:
 			fmt.Fprintf(&b, " >%d:%d", s.Bounds[len(s.Bounds)-1], c)
+		default:
+			// A zero-bound histogram has only the overflow bucket; there is
+			// no finite bound to render the label against.
+			fmt.Fprintf(&b, " all:%d", c)
 		}
 	}
 	return b.String()

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramZeroBoundsString is the regression for the overflow-label
+// panic: a histogram built with no bounds puts every observation in the
+// implicit overflow bucket, and String() used to index Bounds[-1].
+func TestHistogramZeroBoundsString(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(7)
+	h.Observe(9)
+	s := h.snapshot()
+	got := s.String() // must not panic
+	if !strings.Contains(got, "count=2") || !strings.Contains(got, "all:2") {
+		t.Fatalf("zero-bound snapshot rendered %q", got)
+	}
+	// The empty zero-bound histogram renders too.
+	if got := NewHistogram(nil).snapshot().String(); !strings.Contains(got, "count=0") {
+		t.Fatalf("empty zero-bound snapshot rendered %q", got)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from many
+// goroutines while snapshots are taken concurrently; run under -race this
+// pins the atomicity of the histogram, and the final totals must balance.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	const writers, perWriter = 8, 2000
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.snapshot()
+				_ = s.String()
+				_ = s.Mean()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(uint64(w*1000+i) % 2000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	s := h.snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+// TestRegistryConcurrentRegistration: get-or-create of counters, gauges,
+// histograms and samplers from many goroutines — including hitting the same
+// names — is race-free and converges to one metric per name.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("shared.counter").Inc()
+				reg.Counter(fmt.Sprintf("own.counter.%d", w)).Inc()
+				reg.Gauge("shared.gauge").Add(1)
+				reg.Histogram("shared.hist", []uint64{10, 100}).Observe(uint64(i))
+				reg.RegisterFunc("shared.func", func() uint64 { return 42 })
+				_ = reg.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if got, _ := s.Get("shared.counter"); got != workers*200 {
+		t.Fatalf("shared.counter = %d, want %d", got, workers*200)
+	}
+	if s.Gauges["shared.gauge"] != workers*200 {
+		t.Fatalf("shared.gauge = %d, want %d", s.Gauges["shared.gauge"], workers*200)
+	}
+	if s.Histograms["shared.hist"].Count != workers*200 {
+		t.Fatalf("shared.hist count = %d, want %d", s.Histograms["shared.hist"].Count, workers*200)
+	}
+	if got, _ := s.Get("shared.func"); got != 42 {
+		t.Fatalf("shared.func = %d, want 42", got)
+	}
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SpanLogSchema versions the span-log record encoding. A record carrying a
+// different schema token is rejected by the validator instead of misread.
+const SpanLogSchema = "afterimage-spanlog/1"
+
+// The span kinds of the campaign trace taxonomy. A campaign span tree is
+//
+//	campaign → stage (queued, admitted, flight)
+//	flight   → job[i]        (one per sweep point)
+//	job      → attempt[k]    (one per supervised run, retries included)
+//	attempt  → phase         (train / trigger / probe / decode)
+//
+// enforced by ValidateSpanRecord so consumers can rely on the shape.
+const (
+	SpanKindCampaign = "campaign"
+	SpanKindStage    = "stage"
+	SpanKindJob      = "job"
+	SpanKindAttempt  = "attempt"
+	SpanKindPhase    = "phase"
+)
+
+// spanChildKinds is the allowed parent→child kind relation.
+var spanChildKinds = map[string]map[string]bool{
+	SpanKindCampaign: {SpanKindStage: true},
+	SpanKindStage:    {SpanKindJob: true},
+	SpanKindJob:      {SpanKindAttempt: true},
+	SpanKindAttempt:  {SpanKindPhase: true},
+	SpanKindPhase:    {},
+}
+
+// SpanAttr is one key/value annotation on a span. Attributes are an ordered
+// slice — not a map — so a span tree always serialises to the same bytes.
+type SpanAttr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one node of a campaign span tree. Durations are simulated cycles,
+// not wall time: wall time is nondeterministic and lives in the registry's
+// latency histograms, while the span log is byte-stable — a campaign resumed
+// after a drain or crash reports the identical tree an uninterrupted run
+// would have.
+type Span struct {
+	Name     string     `json:"name"`
+	Kind     string     `json:"kind"`
+	Cycles   uint64     `json:"cycles,omitempty"`
+	Attrs    []SpanAttr `json:"attrs,omitempty"`
+	Children []*Span    `json:"children,omitempty"`
+}
+
+// NewSpan builds a span node.
+func NewSpan(name, kind string) *Span { return &Span{Name: name, Kind: kind} }
+
+// Attr appends one attribute and returns the span for chaining.
+func (s *Span) Attr(key, value string) *Span {
+	s.Attrs = append(s.Attrs, SpanAttr{Key: key, Value: value})
+	return s
+}
+
+// Child appends a child span and returns the child.
+func (s *Span) Child(c *Span) *Span {
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// SpanRecord is one campaign's complete trace: the correlation ID the client
+// supplied (or the server minted), the campaign's content address, and the
+// span tree.
+type SpanRecord struct {
+	Schema        string `json:"schema"`
+	CorrelationID string `json:"correlation_id"`
+	Key           string `json:"key"`
+	Span          *Span  `json:"span"`
+}
+
+// NewSpanRecord assembles a schema-stamped record.
+func NewSpanRecord(correlationID, key string, root *Span) SpanRecord {
+	return SpanRecord{Schema: SpanLogSchema, CorrelationID: correlationID, Key: key, Span: root}
+}
+
+// MarshalLine renders the record as one compact JSON line (newline
+// terminated) — the span-log (JSONL) encoding.
+func (r SpanRecord) MarshalLine() ([]byte, error) {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("spanlog: encode record: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// ValidateSpanRecord checks one record against the schema: the schema token,
+// a non-empty correlation ID and key, a campaign root, and — recursively —
+// known kinds, non-empty names, non-empty attribute keys, and the
+// parent→child kind relation.
+func ValidateSpanRecord(r SpanRecord) error {
+	if r.Schema != SpanLogSchema {
+		return fmt.Errorf("spanlog: schema %q, want %q", r.Schema, SpanLogSchema)
+	}
+	if r.CorrelationID == "" {
+		return fmt.Errorf("spanlog: record has no correlation_id")
+	}
+	if r.Key == "" {
+		return fmt.Errorf("spanlog: record has no campaign key")
+	}
+	if r.Span == nil {
+		return fmt.Errorf("spanlog: record has no span tree")
+	}
+	if r.Span.Kind != SpanKindCampaign {
+		return fmt.Errorf("spanlog: root span kind %q, want %q", r.Span.Kind, SpanKindCampaign)
+	}
+	return validateSpan(r.Span, "")
+}
+
+func validateSpan(s *Span, path string) error {
+	path += "/" + s.Name
+	if s.Name == "" {
+		return fmt.Errorf("spanlog: span at %q has no name", path)
+	}
+	allowed, known := spanChildKinds[s.Kind]
+	if !known {
+		return fmt.Errorf("spanlog: span %q has unknown kind %q", path, s.Kind)
+	}
+	for _, a := range s.Attrs {
+		if a.Key == "" {
+			return fmt.Errorf("spanlog: span %q has an attribute with an empty key", path)
+		}
+	}
+	for _, c := range s.Children {
+		if c == nil {
+			return fmt.Errorf("spanlog: span %q has a nil child", path)
+		}
+		if !allowed[c.Kind] {
+			return fmt.Errorf("spanlog: span %q (kind %s) may not contain kind %q child %q",
+				path, s.Kind, c.Kind, c.Name)
+		}
+		if err := validateSpan(c, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateSpanLog checks a JSONL span log: every line must decode into a
+// valid SpanRecord. It returns the number of records on success.
+func ValidateSpanLog(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			return 0, fmt.Errorf("spanlog: line %d: %w", line, err)
+		}
+		if err := ValidateSpanRecord(rec); err != nil {
+			return 0, fmt.Errorf("spanlog: line %d: %w", line, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("spanlog: read: %w", err)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("spanlog: no records")
+	}
+	return n, nil
+}
+
+// WriteSpanChromeTrace renders one span record through the existing Chrome
+// trace_event pipeline: every span becomes a B/E duration pair on a single
+// nested track, with children laid out sequentially inside their parent and
+// the parent extended to cover them. Cycle durations export as µs, so the
+// tree opens directly in chrome://tracing and Perfetto.
+func WriteSpanChromeTrace(w io.Writer, rec SpanRecord) error {
+	if err := ValidateSpanRecord(rec); err != nil {
+		return err
+	}
+	out := traceFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]interface{}{"name": "afterimage-campaign " + rec.Key[:min(12, len(rec.Key))]}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]interface{}{"name": "campaign " + rec.CorrelationID}},
+	)
+
+	var emit func(sp *Span, start uint64) uint64
+	emit = func(sp *Span, start uint64) uint64 {
+		args := map[string]interface{}{"kind": sp.Kind, "correlation_id": rec.CorrelationID}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: sp.Name, Cat: "span", Ph: "B", Ts: float64(start), Pid: 1, Tid: 1, Args: args,
+		})
+		cur := start
+		for _, c := range sp.Children {
+			cur = emit(c, cur)
+		}
+		end := start + sp.Cycles
+		if cur > end {
+			end = cur
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: sp.Name, Cat: "span", Ph: "E", Ts: float64(end), Pid: 1, Tid: 1,
+		})
+		return end
+	}
+	emit(rec.Span, 0)
+
+	out.OtherData = map[string]interface{}{
+		"generator":      "afterimage internal/telemetry (span log)",
+		"correlation_id": rec.CorrelationID,
+		"campaign_key":   rec.Key,
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testSpanRecord builds a small but complete campaign tree: stages, two
+// jobs, a retried attempt, and phases.
+func testSpanRecord() SpanRecord {
+	root := NewSpan("campaign", SpanKindCampaign).Attr("tenant", "t1").Attr("attack", "v1-thread")
+	root.Child(NewSpan("queued", SpanKindStage))
+	root.Child(NewSpan("admitted", SpanKindStage))
+	flight := root.Child(NewSpan("flight", SpanKindStage))
+
+	j0 := flight.Child(NewSpan("job[0]", SpanKindJob).Attr("intensity", "0"))
+	j0.Cycles = 1000
+	a0 := j0.Child(NewSpan("attempt[0]", SpanKindAttempt).Attr("outcome", "ok"))
+	a0.Cycles = 1000
+	a0.Child(&Span{Name: "train", Kind: SpanKindPhase, Cycles: 600})
+	a0.Child(&Span{Name: "probe", Kind: SpanKindPhase, Cycles: 400})
+
+	j1 := flight.Child(NewSpan("job[1]", SpanKindJob).Attr("intensity", "1"))
+	j1.Cycles = 2000
+	j1.Child(NewSpan("attempt[0]", SpanKindAttempt).Attr("outcome", "retried").Attr("fault_kind", "segfault"))
+	a1 := j1.Child(NewSpan("attempt[1]", SpanKindAttempt).Attr("outcome", "ok"))
+	a1.Cycles = 2000
+	a1.Child(&Span{Name: "train", Kind: SpanKindPhase, Cycles: 2000})
+
+	root.Cycles = 3000
+	return NewSpanRecord("corr-123", strings.Repeat("ab", 32), root)
+}
+
+func TestSpanRecordRoundTripAndValidate(t *testing.T) {
+	rec := testSpanRecord()
+	if err := ValidateSpanRecord(rec); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	line, err := rec.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(line, []byte("\n")) || bytes.Count(line, []byte("\n")) != 1 {
+		t.Fatalf("MarshalLine is not a single JSONL line: %q", line)
+	}
+	// A log of three records validates and counts correctly.
+	log := append(append(append([]byte(nil), line...), line...), line...)
+	n, err := ValidateSpanLog(bytes.NewReader(log))
+	if err != nil {
+		t.Fatalf("ValidateSpanLog: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("ValidateSpanLog counted %d records, want 3", n)
+	}
+	// Marshalling twice is byte-identical (ordered attrs, no maps).
+	line2, _ := rec.MarshalLine()
+	if !bytes.Equal(line, line2) {
+		t.Fatal("span record serialisation is nondeterministic")
+	}
+}
+
+func TestSpanValidationRejects(t *testing.T) {
+	base := func() SpanRecord { return testSpanRecord() }
+	cases := []struct {
+		name string
+		mut  func(*SpanRecord)
+	}{
+		{"wrong schema", func(r *SpanRecord) { r.Schema = "afterimage-spanlog/999" }},
+		{"no correlation id", func(r *SpanRecord) { r.CorrelationID = "" }},
+		{"no key", func(r *SpanRecord) { r.Key = "" }},
+		{"nil tree", func(r *SpanRecord) { r.Span = nil }},
+		{"root not campaign", func(r *SpanRecord) { r.Span.Kind = SpanKindJob }},
+		{"unknown kind", func(r *SpanRecord) { r.Span.Children[0].Kind = "interpretive-dance" }},
+		{"phase under campaign", func(r *SpanRecord) {
+			r.Span.Children = append(r.Span.Children, &Span{Name: "rogue", Kind: SpanKindPhase})
+		}},
+		{"empty attr key", func(r *SpanRecord) { r.Span.Attrs[0].Key = "" }},
+		{"empty child name", func(r *SpanRecord) { r.Span.Children[0].Name = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := base()
+			tc.mut(&rec)
+			if err := ValidateSpanRecord(rec); err == nil {
+				t.Fatal("mutated record validated")
+			}
+		})
+	}
+	if _, err := ValidateSpanLog(strings.NewReader("")); err == nil {
+		t.Fatal("empty span log validated")
+	}
+	if _, err := ValidateSpanLog(strings.NewReader("{\"schema\":\"x\"}\n")); err == nil {
+		t.Fatal("bad-schema span log validated")
+	}
+}
+
+// TestSpanChromeTraceExport: the span tree exports through the Chrome
+// trace_event pipeline and passes the same validator the -trace files do —
+// balanced B/E pairs, monotone nesting.
+func TestSpanChromeTraceExport(t *testing.T) {
+	rec := testSpanRecord()
+	var buf bytes.Buffer
+	if err := WriteSpanChromeTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("span chrome trace invalid: %v\n%s", err, buf.String())
+	}
+	// 2 metadata + one B/E pair per span: campaign + 3 stages + 2 jobs +
+	// 3 attempts + 3 phases = 12 spans → 24 + 2 events.
+	if n != 26 {
+		t.Fatalf("exported %d events, want 26", n)
+	}
+	if !strings.Contains(buf.String(), `"correlation_id":"corr-123"`) {
+		t.Fatal("chrome export lost the correlation id")
+	}
+}

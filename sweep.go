@@ -8,6 +8,7 @@ import (
 	"afterimage/internal/faults"
 	"afterimage/internal/runner"
 	"afterimage/internal/sim"
+	"afterimage/internal/telemetry"
 )
 
 // SweepAttack selects which attack a fault sweep drives.
@@ -218,6 +219,9 @@ func (l *Lab) RunFaultSweepCtx(ctx context.Context, o SweepOptions) (SweepResult
 		pt.Degraded = jr.Degraded
 		pt.Quarantined = hasCorruptionHistory(jr.FaultHistory)
 		tel.AbsorbSummaries(pt.Phases)
+		// Into the campaign's metrics registry (the server's, when run under
+		// one), so the per-phase breakdown reaches /metrics.
+		observePhaseCycles(ropts.Metrics, pt.Phases)
 		if childLabs[i] != nil {
 			tel.AbsorbEvents(childLabs[i].m.Telemetry().Events())
 		}
@@ -262,6 +266,19 @@ func sweepFingerprint(labOpts Options, o SweepOptions) string {
 		Bits        int
 		Faults      faults.Config
 	}{"fault-sweep/1", labOpts, o.Attack.String(), o.Intensities, o.Bits, o.Faults})
+}
+
+// phaseCycleBounds bucket per-phase simulated time: a training pass on a
+// tiny campaign is thousands of cycles, a full-report probe phase millions.
+var phaseCycleBounds = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// observePhaseCycles feeds each completed point's attack-phase durations
+// into sim.phase.<name>.cycles histograms, so the per-stage breakdown the
+// span tree shows per campaign is also queryable in aggregate on /metrics.
+func observePhaseCycles(reg *telemetry.Registry, phases []PhaseSummary) {
+	for _, p := range phases {
+		reg.Histogram("sim.phase."+p.Name+".cycles", phaseCycleBounds).Observe(p.Cycles)
+	}
 }
 
 // hasCorruptionHistory reports whether any attempt of a job died on an
