@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"afterimage/internal/cliobs"
+	"afterimage/internal/cluster"
 	"afterimage/internal/obslog"
 	"afterimage/internal/server"
 	"afterimage/internal/store"
@@ -55,6 +56,15 @@ func main() {
 		retryAfter    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight campaigns to checkpoint and unwind")
 		spanLogPath   = flag.String("span-log", "", "append one JSONL span record per completed campaign to this file (validate with afterimage-tracecheck -format spans)")
+
+		clusterOn        = flag.Bool("cluster", false, "shard campaign execution across registered afterimage-worker nodes (degrading to local execution when none are healthy)")
+		heartbeatEvery   = flag.Duration("cluster-heartbeat", 250*time.Millisecond, "worker heartbeat probe interval")
+		evictAfter       = flag.Duration("cluster-evict-after", time.Second, "evict a worker unseen for this long (it rejoins by re-registering)")
+		breakerThreshold = flag.Int("cluster-breaker-threshold", 3, "consecutive dispatch failures that open a worker's circuit breaker")
+		breakerCooldown  = flag.Duration("cluster-breaker-cooldown", 2*time.Second, "how long an open breaker holds before the half-open probe")
+		dispatchRounds   = flag.Int("cluster-dispatch-rounds", 3, "workers one campaign tries before degrading to local execution")
+		dispatchTimeout  = flag.Duration("cluster-dispatch-timeout", 0, "per-attempt deadline against one worker (0 = bounded only by the campaign context); keeps a hung or partitioned worker from stalling a campaign")
+		hedgeAfter       = flag.Duration("cluster-hedge-after", 0, "fixed straggler-hedging delay (0 = adaptive: p95 of recent dispatch latencies)")
 	)
 	obs := cliobs.Register()
 	flag.Parse()
@@ -105,10 +115,30 @@ func main() {
 	if spanLog != nil {
 		cfg.SpanLog = spanLog
 	}
+	var coord *cluster.Coordinator
+	if *clusterOn {
+		coord = cluster.New(cluster.Config{
+			HeartbeatInterval: *heartbeatEvery,
+			EvictAfter:        *evictAfter,
+			BreakerThreshold:  *breakerThreshold,
+			BreakerCooldown:   *breakerCooldown,
+			DispatchRounds:    *dispatchRounds,
+			DispatchTimeout:   *dispatchTimeout,
+			HedgeAfter:        *hedgeAfter,
+			Registry:          reg,
+			Logger:            log,
+		})
+		cfg.Cluster = coord
+		log.Info("cluster mode: workers register at /v1/cluster/register")
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Error("server init failed", obslog.F("err", err))
 		os.Exit(1)
+	}
+	if coord != nil {
+		coord.Start()
+		defer coord.Stop()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -32,6 +32,11 @@ type Client struct {
 	// the server threads it through all layers and the campaign's span tree
 	// carries it. Empty lets the server mint one (echoed on the response).
 	Correlation string
+	// MaxRetryWait caps how long SubmitWait sleeps on any one Retry-After
+	// hint (default 5s). A misconfigured or hostile server can send
+	// arbitrarily large hints; without a cap one bad header parks the client
+	// for hours. Sleeps remain context-cancellable regardless.
+	MaxRetryWait time.Duration
 }
 
 // New builds a client for the service at base.
@@ -117,12 +122,17 @@ func (c *Client) Submit(ctx context.Context, spec server.CampaignSpec) (*Result,
 }
 
 // SubmitWait submits with retries: every *RetryableError is honoured by
-// sleeping the server's Retry-After hint (minimum 50ms) and resubmitting,
-// until ctx expires or attempts run out. Because interrupted campaigns
-// checkpoint, each retry resumes prior progress rather than restarting.
+// sleeping the server's Retry-After hint (clamped to [50ms, MaxRetryWait])
+// and resubmitting, until ctx expires or attempts run out. Because
+// interrupted campaigns checkpoint, each retry resumes prior progress rather
+// than restarting.
 func (c *Client) SubmitWait(ctx context.Context, spec server.CampaignSpec, attempts int) (*Result, error) {
 	if attempts <= 0 {
 		attempts = 10
+	}
+	maxWait := c.MaxRetryWait
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -138,6 +148,9 @@ func (c *Client) SubmitWait(ctx context.Context, spec server.CampaignSpec, attem
 		wait := re.RetryAfter
 		if wait < 50*time.Millisecond {
 			wait = 50 * time.Millisecond
+		}
+		if wait > maxWait {
+			wait = maxWait
 		}
 		t := time.NewTimer(wait)
 		select {

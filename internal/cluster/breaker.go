@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit-breaker phase.
+type BreakerState int
+
+// The breaker phases.
+const (
+	// BreakerClosed passes all traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe request; its outcome decides
+	// between closing (success) and re-opening (failure).
+	BreakerHalfOpen
+)
+
+// String names the state (also the status-endpoint spelling).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a per-worker circuit breaker. Closed until Threshold
+// consecutive failures, then open for Cooldown, then half-open: one probe
+// request (a dispatch or a heartbeat) is admitted, and its outcome either
+// closes the breaker or re-opens it for another full cooldown.
+//
+// Every method takes the current time explicitly, so state transitions are a
+// pure function of the call sequence — the boundary tests drive the breaker
+// through exact instants with no clock in the loop.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// onTransition, when set, observes every state change (telemetry).
+	onTransition func(from, to BreakerState)
+}
+
+// NewBreaker builds a closed breaker. threshold <= 0 means 3; cooldown <= 0
+// means 2s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// transition flips the state and notifies the observer. Callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// resolve applies the time-driven open → half-open transition. Callers hold
+// b.mu.
+func (b *Breaker) resolve(now time.Time) {
+	if b.state == BreakerOpen && !now.Before(b.openedAt.Add(b.cooldown)) {
+		b.transition(BreakerHalfOpen)
+		b.probing = false
+	}
+}
+
+// State reports the phase at the given instant (open breakers whose cooldown
+// has elapsed report — and become — half-open).
+func (b *Breaker) State(now time.Time) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve(now)
+	return b.state
+}
+
+// Allow reports whether one request may proceed now. Closed always allows;
+// open never; half-open allows exactly one in-flight probe — callers that
+// get true MUST report the outcome via Success or Failure, or the breaker
+// stays probing forever.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve(now)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Success records a request that completed: closed breakers reset their
+// failure run, half-open breakers close.
+func (b *Breaker) Success(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve(now)
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.probing = false
+		b.failures = 0
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure records a request that failed: closed breakers open at the
+// threshold, half-open breakers re-open for a fresh cooldown.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve(now)
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = now
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = now
+		b.transition(BreakerOpen)
+	}
+}

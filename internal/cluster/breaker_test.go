@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// bop is one scripted breaker interaction at a fixed instant.
+type bop struct {
+	at        time.Duration // offset from t0
+	op        string        // "fail" | "ok" | "allow" | "deny" | "state"
+	wantState BreakerState  // for op "state"
+}
+
+// TestBreakerBoundaryTables drives the closed/open/half-open machine through
+// exact instants — every method takes the clock explicitly, so each table is
+// a pure replay with no sleeps. The boundary rows pin the edges: the
+// threshold-th failure (not threshold+1) opens, the cooldown expires at
+// exactly openedAt+cooldown (not a nanosecond before), and half-open admits
+// exactly one probe.
+func TestBreakerBoundaryTables(t *testing.T) {
+	const cooldown = 100 * time.Millisecond
+	cases := []struct {
+		name      string
+		threshold int
+		script    []bop
+	}{
+		{
+			name:      "opens at exactly threshold failures",
+			threshold: 3,
+			script: []bop{
+				{at: 0, op: "fail"},
+				{at: 1, op: "fail"},
+				{at: 2, op: "state", wantState: BreakerClosed},
+				{at: 3, op: "allow"},
+				{at: 4, op: "fail"}, // third consecutive failure
+				{at: 5, op: "state", wantState: BreakerOpen},
+				{at: 6, op: "deny"},
+			},
+		},
+		{
+			name:      "success resets the consecutive-failure run",
+			threshold: 2,
+			script: []bop{
+				{at: 0, op: "fail"},
+				{at: 1, op: "ok"}, // run broken
+				{at: 2, op: "fail"},
+				{at: 3, op: "state", wantState: BreakerClosed},
+				{at: 4, op: "fail"}, // now two consecutive
+				{at: 5, op: "state", wantState: BreakerOpen},
+			},
+		},
+		{
+			name:      "cooldown boundary: open until the exact instant",
+			threshold: 1,
+			script: []bop{
+				{at: 0, op: "fail"}, // opens at t0
+				{at: cooldown - time.Nanosecond, op: "state", wantState: BreakerOpen},
+				{at: cooldown - time.Nanosecond, op: "deny"},
+				{at: cooldown, op: "state", wantState: BreakerHalfOpen},
+			},
+		},
+		{
+			name:      "half-open admits exactly one probe",
+			threshold: 1,
+			script: []bop{
+				{at: 0, op: "fail"},
+				{at: cooldown, op: "allow"},    // the probe
+				{at: cooldown + 1, op: "deny"}, // second caller held back
+				{at: cooldown + 2, op: "deny"}, // still probing
+				{at: cooldown + 3, op: "ok"},   // probe succeeded
+				{at: cooldown + 4, op: "state", wantState: BreakerClosed},
+				{at: cooldown + 5, op: "allow"}, // closed passes freely again
+				{at: cooldown + 6, op: "allow"},
+			},
+		},
+		{
+			name:      "failed probe re-opens for a fresh cooldown",
+			threshold: 1,
+			script: []bop{
+				{at: 0, op: "fail"},
+				{at: cooldown, op: "allow"}, // probe admitted
+				{at: cooldown + 1, op: "fail"},
+				{at: cooldown + 2, op: "state", wantState: BreakerOpen},
+				// The fresh cooldown runs from the probe failure, not t0.
+				{at: 2*cooldown - time.Nanosecond, op: "state", wantState: BreakerOpen},
+				{at: cooldown + 1 + cooldown, op: "state", wantState: BreakerHalfOpen},
+			},
+		},
+		{
+			name:      "closed success is a no-op on state",
+			threshold: 2,
+			script: []bop{
+				{at: 0, op: "ok"},
+				{at: 1, op: "ok"},
+				{at: 2, op: "state", wantState: BreakerClosed},
+				{at: 3, op: "allow"},
+			},
+		},
+	}
+
+	t0 := time.Unix(1_700_000_000, 0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(tc.threshold, cooldown)
+			for i, s := range tc.script {
+				now := t0.Add(s.at)
+				switch s.op {
+				case "fail":
+					b.Failure(now)
+				case "ok":
+					b.Success(now)
+				case "allow":
+					if !b.Allow(now) {
+						t.Fatalf("step %d (t0+%s): Allow = false, want true (state %s)", i, s.at, b.State(now))
+					}
+				case "deny":
+					if b.Allow(now) {
+						t.Fatalf("step %d (t0+%s): Allow = true, want false (state %s)", i, s.at, b.State(now))
+					}
+				case "state":
+					if got := b.State(now); got != s.wantState {
+						t.Fatalf("step %d (t0+%s): state = %s, want %s", i, s.at, got, s.wantState)
+					}
+				default:
+					t.Fatalf("bad op %q", s.op)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerTransitionObserver: every state change is reported exactly once
+// with the correct from/to pair — the coordinator's telemetry hook.
+func TestBreakerTransitionObserver(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	b := NewBreaker(1, cooldown)
+	var got [][2]BreakerState
+	b.onTransition = func(from, to BreakerState) { got = append(got, [2]BreakerState{from, to}) }
+
+	t0 := time.Unix(1_700_000_000, 0)
+	b.Failure(t0)             // closed → open
+	b.State(t0.Add(cooldown)) // open → half-open (lazy resolve)
+	if !b.Allow(t0.Add(cooldown)) {
+		t.Fatal("half-open probe not admitted")
+	}
+	b.Success(t0.Add(cooldown + 1)) // half-open → closed
+
+	want := [][2]BreakerState{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d transitions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d: %s→%s, want %s→%s",
+				i, got[i][0], got[i][1], want[i][0], want[i][1])
+		}
+	}
+}
+
+// TestBreakerDefaults: out-of-range constructor arguments fall back to the
+// documented defaults rather than producing a breaker that never opens.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 2*time.Second {
+		t.Fatalf("defaults: threshold %d cooldown %s, want 3 / 2s", b.threshold, b.cooldown)
+	}
+}

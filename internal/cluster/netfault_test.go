@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"afterimage/internal/telemetry"
+)
+
+// TestNetFaultScheduleDeterministic: the injector's fault schedule is a pure
+// function of (seed, host, sequence, rates) — two injectors with the same
+// config produce byte-identical decision tables, which is what lets the chaos
+// harness replay a failure by seed.
+func TestNetFaultScheduleDeterministic(t *testing.T) {
+	cfg := NetFaultConfig{Seed: 42, DropRate: 0.3, DelayRate: 0.4, DuplicateRate: 0.2, MaxDelay: 80 * time.Millisecond}
+	a := cfg.Schedule("worker-a:9001", 256)
+	b := cfg.Schedule("worker-a:9001", 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed/host/config produced different schedules")
+	}
+}
+
+// TestNetFaultScheduleVariesBySeedAndHost: changing the seed or the host
+// changes the schedule — faults are not synchronized across workers, and two
+// seeds explore different failure interleavings.
+func TestNetFaultScheduleVariesBySeedAndHost(t *testing.T) {
+	base := NetFaultConfig{Seed: 1, DropRate: 0.5, DelayRate: 0.5, DuplicateRate: 0.5}
+	ref := base.Schedule("worker-a:9001", 256)
+
+	other := base
+	other.Seed = 2
+	if reflect.DeepEqual(ref, other.Schedule("worker-a:9001", 256)) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if reflect.DeepEqual(ref, base.Schedule("worker-b:9001", 256)) {
+		t.Error("different hosts produced identical schedules")
+	}
+}
+
+// TestNetFaultScheduleInvariants: table-driven over rate corners. A dropped
+// request is never also delayed or duplicated; rate 0 and rate 1 behave as
+// exact never/always, not approximately.
+func TestNetFaultScheduleInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  NetFaultConfig
+		// predicates over the 256-entry schedule
+		wantAllDrop  bool
+		wantNoDrop   bool
+		wantAllDelay bool
+		wantNoDelay  bool
+		wantNoDup    bool
+		wantAllDup   bool
+	}{
+		{
+			name:        "all zero rates: clean network",
+			cfg:         NetFaultConfig{Seed: 7},
+			wantNoDrop:  true,
+			wantNoDelay: true,
+			wantNoDup:   true,
+		},
+		{
+			name:        "drop=1 shadows delay and duplicate",
+			cfg:         NetFaultConfig{Seed: 7, DropRate: 1, DelayRate: 1, DuplicateRate: 1},
+			wantAllDrop: true,
+			wantNoDelay: true,
+			wantNoDup:   true,
+		},
+		{
+			name:         "delay=1 dup=1 without drops",
+			cfg:          NetFaultConfig{Seed: 7, DelayRate: 1, DuplicateRate: 1},
+			wantNoDrop:   true,
+			wantAllDelay: true,
+			wantAllDup:   true,
+		},
+		{
+			name: "mixed rates keep drop exclusive",
+			cfg:  NetFaultConfig{Seed: 9, DropRate: 0.5, DelayRate: 0.9, DuplicateRate: 0.9},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := tc.cfg.Schedule("w:1", 256)
+			if len(sched) != 256 {
+				t.Fatalf("schedule length %d, want 256", len(sched))
+			}
+			maxDelay := tc.cfg.MaxDelay
+			if maxDelay <= 0 {
+				maxDelay = 50 * time.Millisecond
+			}
+			for i, d := range sched {
+				if d.Drop && (d.Delay > 0 || d.Duplicate) {
+					t.Fatalf("entry %d: dropped request also delayed/duplicated: %+v", i, d)
+				}
+				if d.Delay < 0 || d.Delay > maxDelay {
+					t.Fatalf("entry %d: delay %s outside [0, %s]", i, d.Delay, maxDelay)
+				}
+				if tc.wantAllDrop && !d.Drop {
+					t.Fatalf("entry %d: want drop", i)
+				}
+				if tc.wantNoDrop && d.Drop {
+					t.Fatalf("entry %d: unexpected drop", i)
+				}
+				if tc.wantAllDelay && d.Delay == 0 {
+					t.Fatalf("entry %d: want delay", i)
+				}
+				if tc.wantNoDelay && d.Delay != 0 {
+					t.Fatalf("entry %d: unexpected delay %s", i, d.Delay)
+				}
+				if tc.wantAllDup && !d.Duplicate {
+					t.Fatalf("entry %d: want duplicate", i)
+				}
+				if tc.wantNoDup && d.Duplicate {
+					t.Fatalf("entry %d: unexpected duplicate", i)
+				}
+			}
+		})
+	}
+}
+
+// TestNetFaultRoundTripMatchesSchedule: the live transport consumes the same
+// deterministic schedule that Schedule() predicts — request n against the
+// fake worker is dropped iff the table says so, and the drop counter matches.
+func TestNetFaultRoundTripMatchesSchedule(t *testing.T) {
+	var served atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hs.Close()
+
+	reg := telemetry.NewRegistry()
+	cfg := NetFaultConfig{Seed: 123, DropRate: 0.4, Registry: reg}
+	inj := NewInjector(cfg, http.DefaultTransport)
+	httpc := &http.Client{Transport: inj}
+
+	host := strings.TrimPrefix(hs.URL, "http://")
+	sched := cfg.Schedule(host, 64)
+
+	wantDrops := 0
+	for n := 0; n < 64; n++ {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, hs.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpc.Do(req)
+		if sched[n].Drop {
+			wantDrops++
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("request %d: schedule says drop, transport delivered it", n)
+			}
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("request %d: error %v, want ErrInjectedDrop", n, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: schedule says deliver, got %v", n, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if wantDrops == 0 {
+		t.Fatal("seed produced no drops in 64 requests; pick another seed")
+	}
+	if got := int(served.Load()); got != 64-wantDrops {
+		t.Fatalf("server saw %d requests, want %d", got, 64-wantDrops)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["cluster.netfault.drops"]; got != uint64(wantDrops) {
+		t.Fatalf("drop counter %d, want %d", got, wantDrops)
+	}
+}
+
+// TestNetFaultPartition: a partitioned host fails every request with
+// ErrInjectedPartition until healed, independent of the random schedule; the
+// reject counter tracks each refusal.
+func TestNetFaultPartition(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hs.Close()
+	host := strings.TrimPrefix(hs.URL, "http://")
+
+	reg := telemetry.NewRegistry()
+	inj := NewInjector(NetFaultConfig{Seed: 5, Registry: reg}, http.DefaultTransport)
+	httpc := &http.Client{Transport: inj}
+
+	do := func() error {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, hs.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpc.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	if err := do(); err != nil {
+		t.Fatalf("pre-partition request failed: %v", err)
+	}
+	inj.Partition(host)
+	if !inj.Partitioned(host) {
+		t.Fatal("Partitioned() false after Partition()")
+	}
+	for i := 0; i < 3; i++ {
+		if err := do(); !errors.Is(err, ErrInjectedPartition) {
+			t.Fatalf("partitioned request %d: err %v, want ErrInjectedPartition", i, err)
+		}
+	}
+	inj.Heal(host)
+	if inj.Partitioned(host) {
+		t.Fatal("Partitioned() true after Heal()")
+	}
+	if err := do(); err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	if got := reg.Snapshot().Counters["cluster.netfault.partition_rejects"]; got != 3 {
+		t.Fatalf("partition_rejects %d, want 3", got)
+	}
+}
+
+// TestNetFaultDuplicateDelivers: with DuplicateRate 1 and a rewindable body,
+// the origin sees each POST twice — exercising the worker-side idempotency
+// that dispatch relies on — while the caller still gets exactly one response.
+func TestNetFaultDuplicateDelivers(t *testing.T) {
+	var served atomic.Int64
+	var bodies atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		if string(b) == "payload" {
+			bodies.Add(1)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hs.Close()
+
+	reg := telemetry.NewRegistry()
+	inj := NewInjector(NetFaultConfig{Seed: 5, DuplicateRate: 1, Registry: reg}, http.DefaultTransport)
+	httpc := &http.Client{Transport: inj}
+
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, hs.URL, bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		t.Fatalf("duplicated request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for served.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("origin saw %d requests, want 2 (original + duplicate)", got)
+	}
+	if got := bodies.Load(); got != 2 {
+		t.Fatalf("origin saw %d intact bodies, want 2", got)
+	}
+	if got := reg.Snapshot().Counters["cluster.netfault.duplicates"]; got != 1 {
+		t.Fatalf("duplicates counter %d, want 1", got)
+	}
+}

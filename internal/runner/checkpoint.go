@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"syscall"
+
+	"afterimage/internal/telemetry"
 )
 
 // CheckpointSchema versions the on-disk checkpoint format. A file carrying a
@@ -42,10 +44,12 @@ type checkpointState struct {
 // copy). Failing would wedge the campaign permanently (each retry re-hits
 // the same parse error), so the damaged file is quarantined beside the
 // original as <path>.corrupt and the campaign resumes fresh; determinism
-// makes the recomputed results identical. Well-formed files that disagree
-// (wrong schema, wrong fingerprint) still fail loudly: those are
-// configuration errors a recompute would silently paper over.
-func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, error) {
+// makes the recomputed results identical. Each quarantine bumps the corrupt
+// counter (runner.checkpoint.corrupt; nil is inert) so silent-recovery
+// events still surface in /metrics. Well-formed files that disagree (wrong
+// schema, wrong fingerprint) still fail loudly: those are configuration
+// errors a recompute would silently paper over.
+func openCheckpoint(path, fingerprint string, resume bool, corrupt *telemetry.Counter) (*checkpointState, error) {
 	st := &checkpointState{
 		path:        path,
 		fingerprint: fingerprint,
@@ -65,6 +69,9 @@ func openCheckpoint(path, fingerprint string, resume bool) (*checkpointState, er
 	if err := json.Unmarshal(raw, &f); err != nil {
 		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
 			return nil, fmt.Errorf("runner: checkpoint %s is corrupt (%v) and could not be quarantined: %w", path, err, qerr)
+		}
+		if corrupt != nil {
+			corrupt.Inc()
 		}
 		return st, nil
 	}

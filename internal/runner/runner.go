@@ -179,6 +179,7 @@ type JobResult struct {
 type counters struct {
 	started, completed, retried, resumed, degraded, skipped *telemetry.Counter
 	backoffWaits, backoffNanos, checkpointWrites            *telemetry.Counter
+	checkpointCorrupt                                       *telemetry.Counter
 	attemptUS                                               *telemetry.Histogram
 }
 
@@ -191,16 +192,17 @@ func newCounters(reg *telemetry.Registry) counters {
 		return counters{}
 	}
 	return counters{
-		started:          reg.Counter("runner.jobs.started"),
-		completed:        reg.Counter("runner.jobs.completed"),
-		retried:          reg.Counter("runner.jobs.retried"),
-		resumed:          reg.Counter("runner.jobs.resumed"),
-		degraded:         reg.Counter("runner.jobs.degraded"),
-		skipped:          reg.Counter("runner.jobs.skipped"),
-		backoffWaits:     reg.Counter("runner.backoff.waits"),
-		backoffNanos:     reg.Counter("runner.backoff.nanos"),
-		checkpointWrites: reg.Counter("runner.checkpoint.writes"),
-		attemptUS:        reg.Histogram("runner.attempt.us", attemptBounds),
+		started:           reg.Counter("runner.jobs.started"),
+		completed:         reg.Counter("runner.jobs.completed"),
+		retried:           reg.Counter("runner.jobs.retried"),
+		resumed:           reg.Counter("runner.jobs.resumed"),
+		degraded:          reg.Counter("runner.jobs.degraded"),
+		skipped:           reg.Counter("runner.jobs.skipped"),
+		backoffWaits:      reg.Counter("runner.backoff.waits"),
+		backoffNanos:      reg.Counter("runner.backoff.nanos"),
+		checkpointWrites:  reg.Counter("runner.checkpoint.writes"),
+		checkpointCorrupt: reg.Counter("runner.checkpoint.corrupt"),
+		attemptUS:         reg.Histogram("runner.attempt.us", attemptBounds),
 	}
 }
 
@@ -253,7 +255,7 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 	var cp *checkpointState
 	if o.CheckpointPath != "" {
 		var err error
-		cp, err = openCheckpoint(o.CheckpointPath, o.Fingerprint, o.Resume)
+		cp, err = openCheckpoint(o.CheckpointPath, o.Fingerprint, o.Resume, c.checkpointCorrupt)
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"afterimage"
+	"afterimage/internal/cluster"
 	"afterimage/internal/obslog"
 	"afterimage/internal/runner"
 	"afterimage/internal/store"
@@ -92,6 +93,16 @@ type Config struct {
 	// TraceRetention bounds how many completed campaigns' span trees the
 	// server keeps for GET /v1/campaigns/{key}/trace (default 256, FIFO).
 	TraceRetention int
+	// Cluster, when set, shards campaign execution across the worker pool:
+	// cache misses dispatch through the coordinator (failover, hedging) and
+	// degrade to this server's in-process path when no worker is
+	// dispatchable. New installs the local path on the coordinator.
+	Cluster *cluster.Coordinator
+	// SSEKeepalive is the interval between ": keepalive" comment frames on
+	// idle progress streams, so intermediaries don't sever quiet connections
+	// and the server detects (and reaps) dead subscribers (default 15s;
+	// negative disables).
+	SSEKeepalive time.Duration
 }
 
 // Server handles the campaign API. Create with New, serve via Handler, stop
@@ -115,10 +126,12 @@ type Server struct {
 	log       *obslog.Logger
 	spanLogMu sync.Mutex
 
-	requests, cacheHits, cacheMisses  *telemetry.Counter
-	joined, executed                  *telemetry.Counter
-	completed, failed, canceled       *telemetry.Counter
-	validationRejected, drainRejected *telemetry.Counter
+	requests, cacheHits, cacheMisses        *telemetry.Counter
+	joined, executed                        *telemetry.Counter
+	completed, failed, canceled             *telemetry.Counter
+	validationRejected, drainRejected       *telemetry.Counter
+	sseSubscribed, sseKeepalives, sseReaped *telemetry.Counter
+	sseActive                               *telemetry.Gauge
 
 	// Test seams: gate blocks inside runCampaign before simulation (its
 	// error aborts the run); pointDone observes checkpoint writes.
@@ -197,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 2 * time.Second
 	}
+	if cfg.SSEKeepalive == 0 {
+		cfg.SSEKeepalive = 15 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := cfg.Registry
 	s := &Server{
@@ -221,6 +237,23 @@ func New(cfg Config) (*Server, error) {
 		canceled:           reg.Counter("server.campaigns.canceled"),
 		validationRejected: reg.Counter("server.requests.invalid"),
 		drainRejected:      reg.Counter("server.drain.rejected"),
+		sseSubscribed:      reg.Counter("server.sse.subscribed"),
+		sseKeepalives:      reg.Counter("server.sse.keepalives"),
+		sseReaped:          reg.Counter("server.sse.reaped"),
+		sseActive:          reg.Gauge("server.sse.active"),
+	}
+	if cfg.Cluster != nil {
+		// The coordinator's degradation path is this server's in-process
+		// execution: zero healthy workers must never refuse a campaign the
+		// service could have run alone.
+		cfg.Cluster.SetLocal(func(ctx context.Context, key string, payload []byte) ([]byte, error) {
+			var spec CampaignSpec
+			if err := json.Unmarshal(payload, &spec); err != nil {
+				return nil, fmt.Errorf("decode local job payload: %w", err)
+			}
+			body, _, _, err := s.executeLocal(ctx, key, spec.Normalize())
+			return body, err
+		})
 	}
 	return s, nil
 }
@@ -237,7 +270,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{key}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Cluster != nil {
+		mux.HandleFunc("POST "+cluster.RegisterPath, s.handleClusterRegister)
+		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+	}
 	return mux
+}
+
+// handleClusterRegister admits a worker into the pool. Workers re-POST on a
+// timer, so registration is idempotent and doubles as the revival path.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req cluster.RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed register request: " + err.Error()})
+		return
+	}
+	if err := s.cfg.Cluster.Register(req.ID, req.Addr); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered", "id": req.ID})
+}
+
+// handleClusterWorkers snapshots pool membership, health, and breaker states.
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.cfg.Cluster.Workers()})
 }
 
 // Drain stops the server gracefully: new executions are refused with 503 +
@@ -424,12 +485,12 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 		Completed: len(spec.Intensities), Total: len(spec.Intensities)})
 }
 
-// runCampaign executes the sweep under the flight context with a
-// fingerprint-keyed checkpoint, stores the result on success, and removes
-// the now-redundant checkpoint. Resume is always on: if a previous run of
-// this campaign was interrupted (crash, drain, client cancel), its completed
-// points are loaded instead of re-simulated, and the final bytes equal an
-// uninterrupted run's.
+// runCampaign executes the sweep under the flight context — in-process, or,
+// when a cluster coordinator is configured, dispatched across the worker
+// pool — stores the result on success, and records the span tree. Campaigns
+// are pure functions of their specs, so both paths produce byte-identical
+// results; the dispatched path additionally records its failover audit trail
+// as a "dispatch" stage in the spans.
 func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, error) {
 	s.executed.Inc()
 	if s.testGate != nil {
@@ -440,9 +501,40 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 	total := len(spec.Intensities)
 	s.progress.publish(ProgressEvent{Type: "started", Key: key, Total: total})
 
-	lab, err := afterimage.NewLabE(spec.labOptions())
+	if s.cfg.Cluster != nil {
+		return s.runCampaignDispatched(ctx, key, spec)
+	}
+
+	body, res, phases, err := s.executeLocal(ctx, key, spec)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := s.st.PutCtx(ctx, key, body); err != nil {
+		return nil, nil, fmt.Errorf("persist result: %w", err)
+	}
+	s.completed.Inc()
+
+	// The span tree is derived from the deterministic result, so a resumed
+	// campaign reports the identical trace an uninterrupted run would have —
+	// the byte-identity guarantee extends to observability.
+	rec := buildCampaignSpans(obslog.Correlation(ctx), key, spec, res)
+	s.traces.put(rec)
+	s.appendSpanLog(rec)
+	return body, phases, nil
+}
+
+// executeLocal runs the sweep in-process with a fingerprint-keyed
+// checkpoint and removes the now-redundant checkpoint on success. Resume is
+// always on: if a previous run of this campaign was interrupted (crash,
+// drain, client cancel), its completed points are loaded instead of
+// re-simulated, and the final bytes equal an uninterrupted run's. It is
+// both the non-cluster execution path and the cluster's degrade-to-local
+// fallback.
+func (s *Server) executeLocal(ctx context.Context, key string, spec CampaignSpec) ([]byte, afterimage.SweepResult, []afterimage.PhaseSummary, error) {
+	total := len(spec.Intensities)
+	lab, err := afterimage.NewLabE(spec.labOptions())
+	if err != nil {
+		return nil, afterimage.SweepResult{}, nil, err
 	}
 	// The deadline/cancel wiring below the runner: each sweep point's job
 	// context descends from ctx, and runSweepPoint arms the simulator
@@ -465,25 +557,47 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 	}
 	res, err := lab.RunFaultSweepCtx(ctx, so)
 	if err != nil {
-		return nil, nil, err
+		return nil, afterimage.SweepResult{}, nil, err
 	}
 	body, err := res.JSON()
 	if err != nil {
-		return nil, nil, fmt.Errorf("encode result: %w", err)
+		return nil, afterimage.SweepResult{}, nil, fmt.Errorf("encode result: %w", err)
 	}
-	if err := s.st.PutCtx(ctx, key, body); err != nil {
+	os.Remove(ckpt) // the stored result supersedes it; best-effort
+	return body, res, lab.PhaseSummaries(), nil
+}
+
+// runCampaignDispatched routes the campaign through the cluster coordinator:
+// rendezvous-sharded worker dispatch with failover and hedging, degrading to
+// executeLocal when no worker is dispatchable. The worker's bytes are stored
+// verbatim — they are identical to what the local path would produce — and
+// the dispatch attempts ride into the span tree so traces show which worker
+// ran each attempt and why failovers happened.
+func (s *Server) runCampaignDispatched(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("encode campaign spec: %w", err)
+	}
+	dres, err := s.cfg.Cluster.Dispatch(ctx, key, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res afterimage.SweepResult
+	if err := json.Unmarshal(dres.Body, &res); err != nil {
+		return nil, nil, fmt.Errorf("decode dispatched result: %w", err)
+	}
+	if err := s.st.PutCtx(ctx, key, dres.Body); err != nil {
 		return nil, nil, fmt.Errorf("persist result: %w", err)
 	}
-	os.Remove(ckpt) // the store entry supersedes it; best-effort
 	s.completed.Inc()
+	s.log.Ctx(ctx).Info("campaign dispatched", obslog.F("key", key),
+		obslog.F("mode", dres.Mode), obslog.F("worker", dres.Worker),
+		obslog.F("attempts", len(dres.Attempts)))
 
-	// The span tree is derived from the deterministic result, so a resumed
-	// campaign reports the identical trace an uninterrupted run would have —
-	// the byte-identity guarantee extends to observability.
-	rec := buildCampaignSpans(obslog.Correlation(ctx), key, spec, res)
+	rec := buildCampaignSpansDispatch(obslog.Correlation(ctx), key, spec, res, dres.Attempts)
 	s.traces.put(rec)
 	s.appendSpanLog(rec)
-	return body, lab.PhaseSummaries(), nil
+	return dres.Body, nil, nil
 }
 
 func (s *Server) checkpointPath(key string) string {
@@ -570,18 +684,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ch, cancel := s.progress.subscribe(key)
 	defer cancel()
+	s.sseSubscribed.Inc()
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
 	// The store may have gained the entry between the check and the
 	// subscription; re-check so a race cannot strand the subscriber.
 	if _, ok := s.st.Get(key); ok {
 		writeSSE(ProgressEvent{Type: "done", Key: key, Cached: true})
 		return
 	}
+	// Periodic comment frames keep idle streams alive through buffering
+	// intermediaries and — because a dead subscriber's write fails — bound
+	// how long a vanished client can hold its subscription slot.
+	var keepalive <-chan time.Time
+	if s.cfg.SSEKeepalive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepalive)
+		defer t.Stop()
+		keepalive = t.C
+	}
 	for {
 		select {
 		case ev := <-ch:
 			if !writeSSE(ev) {
+				if ev.Type != "done" && ev.Type != "error" {
+					s.sseReaped.Inc()
+				}
 				return
 			}
+		case <-keepalive:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				s.sseReaped.Inc()
+				return
+			}
+			flusher.Flush()
+			s.sseKeepalives.Inc()
 		case <-r.Context().Done():
 			return
 		}
@@ -595,13 +731,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // with HELP/TYPE metadata, per-tenant counters as a tenant label, and the
 // latency histograms as cumulative _bucket series.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeMetricsSnapshot(w, r, s.reg)
+}
+
+// writeMetricsSnapshot renders one registry under the /metrics content
+// negotiation — shared by the server and the worker so both expose identical
+// formats.
+func writeMetricsSnapshot(w http.ResponseWriter, r *http.Request, reg *telemetry.Registry) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
-		telemetry.WritePrometheus(w, s.reg.Snapshot())
+		telemetry.WritePrometheus(w, reg.Snapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.reg.Snapshot().String())
+	fmt.Fprint(w, reg.Snapshot().String())
 }
 
 // wantsPrometheus is the /metrics content negotiation: an explicit

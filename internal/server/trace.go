@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"afterimage"
+	"afterimage/internal/cluster"
 	"afterimage/internal/obslog"
 	"afterimage/internal/store"
 	"afterimage/internal/telemetry"
@@ -120,7 +121,22 @@ func (t *traceStore) get(key string) (telemetry.SpanRecord, bool) {
 //	        └── attempt[k]       retries first (outcome=retried), then the
 //	            └── phase        final attempt with its train/trigger/
 //	                             probe/decode phase spans
+//
+// Cluster-dispatched campaigns (buildCampaignSpansDispatch) append one more
+// stage recording the failover audit trail:
+//
+//	└── dispatch     (stage)     only when the campaign went through the pool
+//	    └── dispatch[k] (job)    worker/outcome/hedge attrs per attempt —
+//	                             which worker ran it and why failovers
+//	                             happened
 func buildCampaignSpans(corr, key string, spec CampaignSpec, res afterimage.SweepResult) telemetry.SpanRecord {
+	return buildCampaignSpansDispatch(corr, key, spec, res, nil)
+}
+
+// buildCampaignSpansDispatch is buildCampaignSpans plus the cluster dispatch
+// trail. With no dispatch attempts the tree is bit-for-bit the single-process
+// tree, so non-cluster traces stay byte-stable.
+func buildCampaignSpansDispatch(corr, key string, spec CampaignSpec, res afterimage.SweepResult, dispatch []cluster.Attempt) telemetry.SpanRecord {
 	root := telemetry.NewSpan("campaign", telemetry.SpanKindCampaign).
 		Attr("tenant", spec.Tenant).
 		Attr("attack", res.Attack).
@@ -161,6 +177,20 @@ func buildCampaignSpans(corr, key string, spec CampaignSpec, res afterimage.Swee
 		}
 		for _, ph := range pt.Phases {
 			final.Child(&telemetry.Span{Name: ph.Name, Kind: telemetry.SpanKindPhase, Cycles: ph.Cycles})
+		}
+	}
+	if len(dispatch) > 0 {
+		stage := root.Child(telemetry.NewSpan("dispatch", telemetry.SpanKindStage))
+		for k, a := range dispatch {
+			sp := stage.Child(telemetry.NewSpan(fmt.Sprintf("dispatch[%d]", k), telemetry.SpanKindJob).
+				Attr("worker", a.Worker).
+				Attr("outcome", a.Outcome))
+			if a.Hedge {
+				sp.Attr("hedge", "true")
+			}
+			if a.Err != "" {
+				sp.Attr("err", a.Err)
+			}
 		}
 	}
 	root.Cycles = total

@@ -23,6 +23,35 @@ const promPrefix = "afterimage_"
 // tenants instead of pattern-matching metric names.
 const tenantCounterPrefix = "server.tenant."
 
+// promHelp curates HELP text for the operationally important families — the
+// durability and resilience counters an operator alerts on. Every name here
+// is the dotted registry spelling; anything absent falls back to the generic
+// "Counter <name>." / "Gauge <name>." / "Histogram <name>." help.
+var promHelp = map[string]string{
+	"store.corrupt":              "Store reads that failed content verification and were quarantined.",
+	"store.recovery.quarantined": "Torn or corrupt store files quarantined by the startup recovery scan.",
+	"store.recovery.entries":     "Valid entries indexed by the startup recovery scan.",
+	"runner.checkpoint.writes":   "Atomic+durable runner checkpoint writes (one per completed point).",
+	"runner.checkpoint.corrupt":  "Unparseable runner checkpoints quarantined as .corrupt; the campaign recomputed identical results from scratch.",
+	"cluster.dispatch.requests":  "Campaign jobs entering cluster dispatch.",
+	"cluster.dispatch.worker_ok": "Dispatches completed by a pool worker.",
+	"cluster.dispatch.local":     "Dispatches degraded to local in-process execution (no dispatchable worker).",
+	"cluster.dispatch.failovers": "Dispatch rounds that failed over to another worker.",
+	"cluster.dispatch.hedged":    "Straggler dispatches hedged with a duplicate request.",
+	"cluster.workers.evicted":    "Workers evicted for missing heartbeats past the deadline.",
+	"cluster.workers.healthy":    "Workers currently passing heartbeat probes.",
+	"cluster.breaker.opened":     "Worker circuit breakers tripped open by consecutive dispatch failures.",
+}
+
+// helpFor resolves a family's HELP text: curated when known, generic
+// otherwise.
+func helpFor(kind, name string) string {
+	if h, ok := promHelp[name]; ok {
+		return h
+	}
+	return kind + " " + name + "."
+}
+
 // promSample is one labelled sample of a family.
 type promSample struct {
 	labels string // rendered label set, "" or `{tenant="alice"}`
@@ -110,16 +139,16 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			})
 			continue
 		}
-		f := family(promPrefix+promName(name)+"_total", "counter", "Counter "+name+".")
+		f := family(promPrefix+promName(name)+"_total", "counter", helpFor("Counter", name))
 		f.samples = append(f.samples, promSample{value: val})
 	}
 	for name, v := range s.Gauges {
-		f := family(promPrefix+promName(name), "gauge", "Gauge "+name+".")
+		f := family(promPrefix+promName(name), "gauge", helpFor("Gauge", name))
 		f.samples = append(f.samples, promSample{value: strconv.FormatInt(v, 10)})
 	}
 	for name, h := range s.Histograms {
 		h := h
-		family(promPrefix+promName(name), "histogram", "Histogram "+name+".").hist = &h
+		family(promPrefix+promName(name), "histogram", helpFor("Histogram", name)).hist = &h
 	}
 
 	names := make([]string, 0, len(fams))

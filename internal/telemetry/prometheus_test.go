@@ -142,6 +142,52 @@ func TestPrometheusTenantLabels(t *testing.T) {
 	}
 }
 
+// TestPrometheusCuratedHelp pins the exposition encoding of the curated
+// recovery/resilience families: the HELP text an operator's dashboards key
+// on must not drift, and names outside the curated map must keep the generic
+// fallback. Exact-line regression, not substring-of-substring.
+func TestPrometheusCuratedHelp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("store.recovery.quarantined").Add(2)
+	reg.Counter("store.recovery.entries").Add(40)
+	reg.Counter("store.corrupt").Add(1)
+	reg.Counter("runner.checkpoint.writes").Add(9)
+	reg.Counter("runner.checkpoint.corrupt").Add(3)
+	reg.Counter("cluster.dispatch.local").Add(1)
+	reg.Counter("cluster.workers.evicted").Add(1)
+	reg.Gauge("cluster.workers.healthy").Set(2)
+	reg.Counter("some.other.counter").Add(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"# HELP afterimage_store_recovery_quarantined_total Torn or corrupt store files quarantined by the startup recovery scan.",
+		"afterimage_store_recovery_quarantined_total 2",
+		"# HELP afterimage_store_recovery_entries_total Valid entries indexed by the startup recovery scan.",
+		"# HELP afterimage_store_corrupt_total Store reads that failed content verification and were quarantined.",
+		"# HELP afterimage_runner_checkpoint_writes_total Atomic+durable runner checkpoint writes (one per completed point).",
+		"# HELP afterimage_runner_checkpoint_corrupt_total Unparseable runner checkpoints quarantined as .corrupt; the campaign recomputed identical results from scratch.",
+		"afterimage_runner_checkpoint_corrupt_total 3",
+		"# HELP afterimage_cluster_dispatch_local_total Dispatches degraded to local in-process execution (no dispatchable worker).",
+		"# HELP afterimage_cluster_workers_evicted_total Workers evicted for missing heartbeats past the deadline.",
+		"# HELP afterimage_cluster_workers_healthy Workers currently passing heartbeat probes.",
+		"afterimage_cluster_workers_healthy 2",
+		// Uncurated names keep the generic fallback.
+		"# HELP afterimage_some_other_counter_total Counter some.other.counter.",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("output missing exact line %q:\n%s", w, out)
+		}
+	}
+	if _, err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("validator rejects curated-help output: %v", err)
+	}
+}
+
 // TestPrometheusDeterministic: two renders of the same snapshot are
 // byte-identical (families and label sets are sorted, no map-order leaks).
 func TestPrometheusDeterministic(t *testing.T) {
