@@ -41,6 +41,7 @@ import (
 	"afterimage/internal/server"
 	"afterimage/internal/store"
 	"afterimage/internal/telemetry"
+	"afterimage/internal/vfs"
 )
 
 func main() {
@@ -56,6 +57,11 @@ func main() {
 		retryAfter    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight campaigns to checkpoint and unwind")
 		spanLogPath   = flag.String("span-log", "", "append one JSONL span record per completed campaign to this file (validate with afterimage-tracecheck -format spans)")
+
+		storeBudget   = flag.Int64("store-budget", 0, "store size budget in bytes (0 = unlimited); past it the oldest entries are evicted first, never pinned (in-flight) keys")
+		scrubInterval = flag.Duration("store-scrub-interval", 0, "background store integrity-scrub cadence (0 = off; POST /v1/store/scrub always works on demand)")
+		scrubRate     = flag.Int("store-scrub-rate", 0, "scrubber rate limit in entry verifications per second (0 = unlimited)")
+		fsChaos       = flag.String("fs-chaos", "", `inject deterministic filesystem faults into store and checkpoint writes (chaos testing): "seed=N,enospc=R,eio=R,torn=R,rename=R" with rates in [0,1]`)
 
 		clusterOn        = flag.Bool("cluster", false, "shard campaign execution across registered afterimage-worker nodes (degrading to local execution when none are healthy)")
 		heartbeatEvery   = flag.Duration("cluster-heartbeat", 250*time.Millisecond, "worker heartbeat probe interval")
@@ -88,20 +94,46 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
-	st, quarantined, err := store.Open(*storeDir, reg)
+
+	// Optional deterministic disk-fault injection: one FaultFS shared by the
+	// store and the checkpoint writer, so a chaos run exercises every
+	// degradation path the service has.
+	var fsys vfs.FS
+	if *fsChaos != "" {
+		fcfg, err := vfs.ParseFaultConfig(*fsChaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afterimage-serve: -fs-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fcfg.Registry = reg
+		fsys = vfs.NewFaultFS(fcfg, nil)
+		log.Warn("filesystem fault injection enabled", obslog.F("config", *fsChaos))
+	}
+
+	st, quarantined, err := store.OpenWith(store.Options{
+		Dir:           *storeDir,
+		Registry:      reg,
+		FS:            fsys,
+		Budget:        *storeBudget,
+		ScrubInterval: *scrubInterval,
+		ScrubRate:     *scrubRate,
+		Logger:        log,
+	})
 	if err != nil {
 		log.Error("open store", obslog.F("dir", *storeDir), obslog.F("err", err))
 		os.Exit(1)
 	}
-	st.SetLogger(log)
+	defer st.Close()
 	if quarantined > 0 {
 		log.Warn("recovery scan quarantined torn/corrupt store files",
 			obslog.F("count", quarantined), obslog.F("dir", store.QuarantineDir))
 	}
-	log.Info("store opened", obslog.F("dir", st.Dir()), obslog.F("entries", st.Len()))
+	log.Info("store opened", obslog.F("dir", st.Dir()), obslog.F("entries", st.Len()),
+		obslog.F("budget", *storeBudget), obslog.F("scrub_interval", *scrubInterval))
 
 	cfg := server.Config{
 		Store:          st,
+		FS:             fsys,
 		CheckpointDir:  *ckptDir,
 		Registry:       reg,
 		MaxConcurrent:  *maxCampaigns,

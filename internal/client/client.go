@@ -55,7 +55,9 @@ func (c *Client) http() *http.Client {
 type Result struct {
 	// Key is the campaign's content address (from X-Afterimage-Key).
 	Key string
-	// Source is hit | miss | join (from X-Afterimage-Cache).
+	// Source is hit | miss | join | degraded (from X-Afterimage-Cache).
+	// "degraded" means the result was computed but its cache write was shed
+	// (disk fault); the bytes are identical to a cached run's.
 	Source string
 	// CorrelationID is the campaign correlation ID the server echoed (from
 	// X-Campaign-Id) — the client's own if it sent one, minted otherwise.

@@ -68,6 +68,15 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown}
 }
 
+// OnTransition installs an observer invoked (under the breaker's lock) on
+// every state change — the telemetry hook for breakers embedded outside this
+// package, like the store's write-health breaker.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
 // transition flips the state and notifies the observer. Callers hold b.mu.
 func (b *Breaker) transition(to BreakerState) {
 	from := b.state

@@ -4,14 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"syscall"
 
-	"afterimage/internal/telemetry"
+	"afterimage/internal/obslog"
+	"afterimage/internal/vfs"
 )
 
 // CheckpointSchema versions the on-disk checkpoint format. A file carrying a
@@ -27,17 +26,18 @@ type checkpointFile struct {
 }
 
 // checkpointState is the live handle: the completed map plus where to
-// persist it.
+// persist it and the filesystem to persist it through.
 type checkpointState struct {
 	path        string
 	fingerprint string
+	fs          vfs.FS
 	completed   map[string]JobResult
 }
 
-// openCheckpoint prepares checkpoint persistence at path. With resume set,
-// an existing file is loaded and validated (schema and campaign fingerprint
-// must match); otherwise any stale file is ignored and overwritten by the
-// first write.
+// openCheckpoint prepares checkpoint persistence at path through fsys. With
+// resume set, an existing file is loaded and validated (schema and campaign
+// fingerprint must match); otherwise any stale file is ignored and
+// overwritten by the first write.
 //
 // An unparseable file is damage, not disagreement — every write is atomic,
 // so torn JSON means the file was hurt after the fact (disk fault, partial
@@ -46,33 +46,38 @@ type checkpointState struct {
 // original as <path>.corrupt and the campaign resumes fresh; determinism
 // makes the recomputed results identical. Each quarantine bumps the corrupt
 // counter (runner.checkpoint.corrupt; nil is inert) so silent-recovery
-// events still surface in /metrics. Well-formed files that disagree (wrong
-// schema, wrong fingerprint) still fail loudly: those are configuration
-// errors a recompute would silently paper over.
-func openCheckpoint(path, fingerprint string, resume bool, corrupt *telemetry.Counter) (*checkpointState, error) {
+// events still surface in /metrics. A checkpoint the disk will not return
+// (EIO) likewise degrades to no-resume — the campaign recomputes instead of
+// failing on a read the retry loop could never fix — and bumps
+// runner.checkpoint.degraded. Well-formed files that disagree (wrong schema,
+// wrong fingerprint) still fail loudly: those are configuration errors a
+// recompute would silently paper over.
+func openCheckpoint(path, fingerprint string, resume bool, fsys vfs.FS, c counters, log *obslog.Logger) (*checkpointState, error) {
 	st := &checkpointState{
 		path:        path,
 		fingerprint: fingerprint,
+		fs:          fsys,
 		completed:   make(map[string]JobResult),
 	}
 	if !resume {
 		return st, nil
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return st, nil // nothing to resume from; start fresh
 	}
 	if err != nil {
-		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+		inc(c.checkpointDegraded)
+		log.Warn("checkpoint unreadable; resuming without it (campaign recomputes)",
+			obslog.F("path", path), obslog.F("err", err))
+		return st, nil
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(raw, &f); err != nil {
-		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+		if qerr := fsys.Rename(path, path+".corrupt"); qerr != nil {
 			return nil, fmt.Errorf("runner: checkpoint %s is corrupt (%v) and could not be quarantined: %w", path, err, qerr)
 		}
-		if corrupt != nil {
-			corrupt.Inc()
-		}
+		inc(c.checkpointCorrupt)
 		return st, nil
 	}
 	if f.Schema != CheckpointSchema {
@@ -106,41 +111,44 @@ func (st *checkpointState) write() error {
 		return err
 	}
 	tmp := st.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := st.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(raw); err != nil {
 		f.Close()
+		st.discardTemp(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		st.discardTemp(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		st.discardTemp(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, st.path); err != nil {
+	if err := st.fs.Rename(tmp, st.path); err != nil {
+		st.discardTemp(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(st.path))
+	return st.fs.SyncDir(filepath.Dir(st.path))
+}
+
+// discardTemp removes the temp file a failed checkpoint write left behind
+// (best effort — a survivor is overwritten by the next write anyway).
+func (st *checkpointState) discardTemp(tmp string) {
+	if err := st.fs.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		_ = err // nothing further to do; the next write truncates it
+	}
 }
 
 // SyncDir fsyncs a directory so a just-completed rename inside it is durable,
-// not merely atomic. Filesystems that refuse to fsync directories (some
-// network mounts) are tolerated: atomicity still holds there, durability is
-// whatever the mount provides.
+// not merely atomic. Kept as the package-level durability helper; it is the
+// real-filesystem spelling of vfs.FS.SyncDir.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
-	}
-	return nil
+	return vfs.OS().SyncDir(dir)
 }
 
 // Fingerprint hashes an arbitrary JSON-encodable campaign description

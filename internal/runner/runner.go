@@ -32,6 +32,7 @@ import (
 	"afterimage/internal/obslog"
 	"afterimage/internal/sim"
 	"afterimage/internal/telemetry"
+	"afterimage/internal/vfs"
 )
 
 // Class classifies a job failure for the retry policy.
@@ -109,8 +110,16 @@ type Options struct {
 	// faults with FaultBudget and is retried as transient.
 	JobTimeout time.Duration
 	// CheckpointPath, when set, persists every completed job to this file
-	// via atomic write-temp-then-rename after each completion.
+	// via atomic write-temp-then-rename after each completion. A checkpoint
+	// write failure (full or failing disk) never fails the campaign: the
+	// failure is logged, runner.checkpoint.degraded is bumped, and
+	// checkpointing is disabled for the rest of the run — the campaign
+	// completes, it just cannot be resumed.
 	CheckpointPath string
+	// FS is the filesystem checkpoints are read and written through; nil
+	// means the real one (vfs.OS()). The disk-chaos harness passes a
+	// vfs.FaultFS.
+	FS vfs.FS
 	// Resume loads CheckpointPath before running and skips jobs already
 	// completed there. The file's fingerprint must match Fingerprint.
 	Resume bool
@@ -179,7 +188,7 @@ type JobResult struct {
 type counters struct {
 	started, completed, retried, resumed, degraded, skipped *telemetry.Counter
 	backoffWaits, backoffNanos, checkpointWrites            *telemetry.Counter
-	checkpointCorrupt                                       *telemetry.Counter
+	checkpointCorrupt, checkpointDegraded                   *telemetry.Counter
 	attemptUS                                               *telemetry.Histogram
 }
 
@@ -192,17 +201,18 @@ func newCounters(reg *telemetry.Registry) counters {
 		return counters{}
 	}
 	return counters{
-		started:           reg.Counter("runner.jobs.started"),
-		completed:         reg.Counter("runner.jobs.completed"),
-		retried:           reg.Counter("runner.jobs.retried"),
-		resumed:           reg.Counter("runner.jobs.resumed"),
-		degraded:          reg.Counter("runner.jobs.degraded"),
-		skipped:           reg.Counter("runner.jobs.skipped"),
-		backoffWaits:      reg.Counter("runner.backoff.waits"),
-		backoffNanos:      reg.Counter("runner.backoff.nanos"),
-		checkpointWrites:  reg.Counter("runner.checkpoint.writes"),
-		checkpointCorrupt: reg.Counter("runner.checkpoint.corrupt"),
-		attemptUS:         reg.Histogram("runner.attempt.us", attemptBounds),
+		started:            reg.Counter("runner.jobs.started"),
+		completed:          reg.Counter("runner.jobs.completed"),
+		retried:            reg.Counter("runner.jobs.retried"),
+		resumed:            reg.Counter("runner.jobs.resumed"),
+		degraded:           reg.Counter("runner.jobs.degraded"),
+		skipped:            reg.Counter("runner.jobs.skipped"),
+		backoffWaits:       reg.Counter("runner.backoff.waits"),
+		backoffNanos:       reg.Counter("runner.backoff.nanos"),
+		checkpointWrites:   reg.Counter("runner.checkpoint.writes"),
+		checkpointCorrupt:  reg.Counter("runner.checkpoint.corrupt"),
+		checkpointDegraded: reg.Counter("runner.checkpoint.degraded"),
+		attemptUS:          reg.Histogram("runner.attempt.us", attemptBounds),
 	}
 }
 
@@ -254,8 +264,12 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 
 	var cp *checkpointState
 	if o.CheckpointPath != "" {
+		fsys := o.FS
+		if fsys == nil {
+			fsys = vfs.OS()
+		}
 		var err error
-		cp, err = openCheckpoint(o.CheckpointPath, o.Fingerprint, o.Resume, c.checkpointCorrupt)
+		cp, err = openCheckpoint(o.CheckpointPath, o.Fingerprint, o.Resume, fsys, c, o.Logger)
 		if err != nil {
 			return nil, err
 		}
@@ -276,8 +290,8 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 	}
 
 	var (
-		mu    sync.Mutex // guards cp writes and the OnCheckpoint hook
-		cpErr error
+		mu     sync.Mutex // guards cp writes and the OnCheckpoint hook
+		cpDead bool       // a write failed; checkpointing is off for this run
 	)
 	record := func(idx int, r JobResult) {
 		results[idx] = r
@@ -286,11 +300,17 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		if cpDead {
+			return
+		}
 		cp.completed[r.Key] = r
 		if err := cp.write(); err != nil {
-			if cpErr == nil {
-				cpErr = err
-			}
+			// Degrade to no-checkpoint, never to a failed campaign: the
+			// results in memory are intact, only resumability is lost.
+			cpDead = true
+			inc(c.checkpointDegraded)
+			o.Logger.Ctx(ctx).Warn("checkpoint write failed; checkpointing disabled for this campaign (resume unavailable)",
+				obslog.F("path", o.CheckpointPath), obslog.F("err", err))
 			return
 		}
 		inc(c.checkpointWrites)
@@ -321,9 +341,6 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]JobResult, error) {
 	close(work)
 	wg.Wait()
 
-	if cpErr != nil {
-		return results, fmt.Errorf("runner: checkpoint: %w", cpErr)
-	}
 	if err := ctx.Err(); err != nil {
 		return results, fmt.Errorf("runner: campaign canceled: %w", err)
 	}

@@ -13,13 +13,21 @@
 //
 //	POST /v1/campaigns            submit a CampaignSpec; responds with the
 //	                              SweepResult JSON (X-Afterimage-Cache:
-//	                              hit|miss|join, X-Afterimage-Key: <sha256>)
+//	                              hit|miss|join|degraded, X-Afterimage-Key:
+//	                              <sha256>)
 //	GET  /v1/campaigns/{key}      fetch a cached result (200), in-flight
 //	                              progress (202), or 404
 //	GET  /v1/campaigns/{key}/events   SSE stream of ProgressEvents
+//	POST /v1/store/scrub          run one store integrity-scrub pass now;
+//	                              responds with the ScrubReport JSON
 //	GET  /metrics                 text snapshot of the telemetry registry
 //	                              (runner.* / server.* / store.* counters)
 //	GET  /healthz                 liveness + drain state
+//
+// Disk faults degrade, they never fail a campaign: when the store cannot
+// persist a computed result (full or failing disk, write-health breaker
+// open), the result is still served with X-Afterimage-Cache: degraded — the
+// cache write was shed, the bytes are identical to a cached run's.
 package server
 
 import (
@@ -29,7 +37,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -42,6 +49,7 @@ import (
 	"afterimage/internal/runner"
 	"afterimage/internal/store"
 	"afterimage/internal/telemetry"
+	"afterimage/internal/vfs"
 )
 
 // Response headers.
@@ -61,6 +69,11 @@ type Config struct {
 	// CheckpointDir holds per-campaign runner checkpoints (required). It
 	// must persist across restarts for drain/crash resume to work.
 	CheckpointDir string
+	// FS is the filesystem campaign checkpoints are written through; nil
+	// means the real one (vfs.OS()). The disk-chaos harness injects faults
+	// here; checkpoint write failures degrade to no-resume, never to a
+	// failed campaign.
+	FS vfs.FS
 	// Registry receives runner.*, server.*, and store.* counters; nil
 	// creates a private one.
 	Registry *telemetry.Registry
@@ -110,6 +123,7 @@ type Config struct {
 type Server struct {
 	cfg Config
 	st  *store.Store
+	fs  vfs.FS
 	reg *telemetry.Registry
 
 	baseCtx    context.Context
@@ -128,7 +142,7 @@ type Server struct {
 
 	requests, cacheHits, cacheMisses        *telemetry.Counter
 	joined, executed                        *telemetry.Counter
-	completed, failed, canceled             *telemetry.Counter
+	completed, failed, canceled, degraded   *telemetry.Counter
 	validationRejected, drainRejected       *telemetry.Counter
 	sseSubscribed, sseKeepalives, sseReaped *telemetry.Counter
 	sseActive                               *telemetry.Gauge
@@ -151,6 +165,10 @@ type flight struct {
 
 	body []byte
 	err  *apiError
+	// degraded marks a flight whose result could not be cached (the store
+	// shed the write); waiters report X-Afterimage-Cache: degraded. Written
+	// before done closes, read only after.
+	degraded bool
 
 	mu      sync.Mutex
 	waiters int
@@ -189,7 +207,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointDir == "" {
 		return nil, fmt.Errorf("server: Config.CheckpointDir is required")
 	}
-	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS()
+	}
+	if err := cfg.FS.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: create checkpoint dir: %w", err)
 	}
 	if cfg.Registry == nil {
@@ -218,6 +239,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		st:         cfg.Store,
+		fs:         cfg.FS,
 		reg:        reg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -235,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		completed:          reg.Counter("server.campaigns.completed"),
 		failed:             reg.Counter("server.campaigns.failed"),
 		canceled:           reg.Counter("server.campaigns.canceled"),
+		degraded:           reg.Counter("server.campaigns.degraded"),
 		validationRejected: reg.Counter("server.requests.invalid"),
 		drainRejected:      reg.Counter("server.drain.rejected"),
 		sseSubscribed:      reg.Counter("server.sse.subscribed"),
@@ -268,6 +291,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{key}", s.handleGet)
 	mux.HandleFunc("GET /v1/campaigns/{key}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{key}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/store/scrub", s.handleScrub)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.Cluster != nil {
@@ -406,7 +430,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !started {
 		source = "join"
 	}
+	if f.degraded {
+		// The result is correct and complete; only its cache write was shed.
+		source = "degraded"
+	}
 	writeResult(w, key, source, f.body)
+}
+
+// handleScrub triggers one on-demand store integrity pass — the triage lever
+// after a disk incident: verify everything now instead of waiting for the
+// background cadence.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rep := s.st.Scrub(r.Context())
+	s.log.Ctx(r.Context()).Info("on-demand store scrub",
+		obslog.F("scanned", rep.Scanned), obslog.F("corrupt", rep.Corrupt))
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // flightFor joins the in-flight execution for key or starts one. The flight
@@ -437,6 +476,10 @@ func (s *Server) flightFor(key string, spec CampaignSpec, corr string) (*flight,
 	fctx = obslog.WithCorrelation(fctx, corr)
 	f := &flight{key: key, corr: corr, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
 	s.flights[key] = f
+	// Pin the key for the flight's lifetime: the GC must not evict a result
+	// between the moment the campaign writes it and the moment the last
+	// waiter reads it back.
+	s.st.Pin(key)
 	s.wg.Add(1)
 	go s.execute(f, spec)
 	return f, true
@@ -451,6 +494,7 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 		s.fmu.Unlock()
 		f.cancel()
 		close(f.done)
+		s.st.Unpin(f.key)
 	}()
 
 	flog := s.log.Ctx(f.ctx)
@@ -468,7 +512,7 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 	defer release()
 	flog.Info("campaign admitted", obslog.F("key", f.key))
 
-	body, phases, err := s.runCampaign(f.ctx, f.key, spec)
+	body, phases, degraded, err := s.runCampaign(f.ctx, f.key, spec)
 	if err != nil {
 		f.err = s.campaignError(f.ctx, err)
 		flog.Warn("campaign failed", obslog.F("key", f.key),
@@ -476,8 +520,10 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 		s.progress.publish(ProgressEvent{Type: "error", Key: f.key, Err: f.err.Msg})
 		return
 	}
-	flog.Info("campaign completed", obslog.F("key", f.key), obslog.F("bytes", len(body)))
+	flog.Info("campaign completed", obslog.F("key", f.key), obslog.F("bytes", len(body)),
+		obslog.F("cache_degraded", degraded))
 	f.body = body
+	f.degraded = degraded
 	if len(phases) > 0 {
 		s.progress.publish(ProgressEvent{Type: "phases", Key: f.key, Phases: phases})
 	}
@@ -491,11 +537,13 @@ func (s *Server) execute(f *flight, spec CampaignSpec) {
 // are pure functions of their specs, so both paths produce byte-identical
 // results; the dispatched path additionally records its failover audit trail
 // as a "dispatch" stage in the spans.
-func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, error) {
+// The returned degraded flag reports a shed cache write: the result is
+// complete and correct, the store just could not persist it (see persistResult).
+func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, bool, error) {
 	s.executed.Inc()
 	if s.testGate != nil {
 		if err := s.testGate(ctx, key); err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 	}
 	total := len(spec.Intensities)
@@ -507,11 +555,9 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 
 	body, res, phases, err := s.executeLocal(ctx, key, spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	if err := s.st.PutCtx(ctx, key, body); err != nil {
-		return nil, nil, fmt.Errorf("persist result: %w", err)
-	}
+	degraded := s.persistResult(ctx, key, body)
 	s.completed.Inc()
 
 	// The span tree is derived from the deterministic result, so a resumed
@@ -520,7 +566,22 @@ func (s *Server) runCampaign(ctx context.Context, key string, spec CampaignSpec)
 	rec := buildCampaignSpans(obslog.Correlation(ctx), key, spec, res)
 	s.traces.put(rec)
 	s.appendSpanLog(rec)
-	return body, phases, nil
+	return body, phases, degraded, nil
+}
+
+// persistResult caches a computed campaign result, shedding the write — not
+// the campaign — when the disk refuses it. A true return means degraded: the
+// result was served uncached and the next identical request recomputes (and
+// re-attempts the cache write, which is how the cache heals).
+func (s *Server) persistResult(ctx context.Context, key string, body []byte) bool {
+	err := s.st.PutCtx(ctx, key, body)
+	if err == nil {
+		return false
+	}
+	s.degraded.Inc()
+	s.log.Ctx(ctx).Warn("result cache write shed; serving uncached result",
+		obslog.F("key", key), obslog.F("err", err))
+	return true
 }
 
 // executeLocal runs the sweep in-process with a fingerprint-keyed
@@ -547,6 +608,7 @@ func (s *Server) executeLocal(ctx context.Context, key string, spec CampaignSpec
 		Metrics:        s.reg,
 		Logger:         s.log,
 		CheckpointPath: ckpt,
+		FS:             s.fs,
 		Resume:         true,
 		OnCheckpoint: func(completed int) {
 			s.progress.publish(ProgressEvent{Type: "point", Key: key, Completed: completed, Total: total})
@@ -563,7 +625,7 @@ func (s *Server) executeLocal(ctx context.Context, key string, spec CampaignSpec
 	if err != nil {
 		return nil, afterimage.SweepResult{}, nil, fmt.Errorf("encode result: %w", err)
 	}
-	os.Remove(ckpt) // the stored result supersedes it; best-effort
+	s.fs.Remove(ckpt) // the stored result supersedes it; best-effort
 	return body, res, lab.PhaseSummaries(), nil
 }
 
@@ -573,22 +635,20 @@ func (s *Server) executeLocal(ctx context.Context, key string, spec CampaignSpec
 // verbatim — they are identical to what the local path would produce — and
 // the dispatch attempts ride into the span tree so traces show which worker
 // ran each attempt and why failovers happened.
-func (s *Server) runCampaignDispatched(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, error) {
+func (s *Server) runCampaignDispatched(ctx context.Context, key string, spec CampaignSpec) ([]byte, []afterimage.PhaseSummary, bool, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
-		return nil, nil, fmt.Errorf("encode campaign spec: %w", err)
+		return nil, nil, false, fmt.Errorf("encode campaign spec: %w", err)
 	}
 	dres, err := s.cfg.Cluster.Dispatch(ctx, key, payload)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	var res afterimage.SweepResult
 	if err := json.Unmarshal(dres.Body, &res); err != nil {
-		return nil, nil, fmt.Errorf("decode dispatched result: %w", err)
+		return nil, nil, false, fmt.Errorf("decode dispatched result: %w", err)
 	}
-	if err := s.st.PutCtx(ctx, key, dres.Body); err != nil {
-		return nil, nil, fmt.Errorf("persist result: %w", err)
-	}
+	degraded := s.persistResult(ctx, key, dres.Body)
 	s.completed.Inc()
 	s.log.Ctx(ctx).Info("campaign dispatched", obslog.F("key", key),
 		obslog.F("mode", dres.Mode), obslog.F("worker", dres.Worker),
@@ -597,7 +657,7 @@ func (s *Server) runCampaignDispatched(ctx context.Context, key string, spec Cam
 	rec := buildCampaignSpansDispatch(obslog.Correlation(ctx), key, spec, res, dres.Attempts)
 	s.traces.put(rec)
 	s.appendSpanLog(rec)
-	return dres.Body, nil, nil
+	return dres.Body, nil, degraded, nil
 }
 
 func (s *Server) checkpointPath(key string) string {

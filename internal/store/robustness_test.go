@@ -1,0 +1,567 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"afterimage/internal/telemetry"
+	"afterimage/internal/vfs"
+)
+
+// openWithT opens a store from the full option set, failing the test on
+// error and closing the store at cleanup.
+func openWithT(t *testing.T, o Options) *Store {
+	t.Helper()
+	s, _, err := OpenWith(o)
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// probeEntrySize measures the on-disk size of one entry holding payload —
+// the unit the GC budget tests do arithmetic in.
+func probeEntrySize(t *testing.T, payload []byte) int64 {
+	t.Helper()
+	s := openWithT(t, Options{Dir: t.TempDir()})
+	if err := s.Put(Key([]byte("size-probe")), payload); err != nil {
+		t.Fatal(err)
+	}
+	return s.TotalBytes()
+}
+
+// countTempFiles walks the real directory tree counting *.tmp files — the
+// litter a leaky Put error path would leave behind.
+func countTempFiles(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) uint64 {
+	t.Helper()
+	v, _ := reg.Snapshot().Get(name)
+	return v
+}
+
+func TestGCBudgetZeroIsUnlimited(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: t.TempDir(), Registry: reg, Budget: 0})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(Key([]byte(fmt.Sprintf("k%d", i))), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Len(); n != 10 {
+		t.Fatalf("Len = %d, want all 10 with no budget", n)
+	}
+	if v := counterValue(t, reg, "store.gc.evictions"); v != 0 {
+		t.Fatalf("store.gc.evictions = %d, want 0", v)
+	}
+}
+
+func TestGCEvictsOldestFirst(t *testing.T) {
+	payload := []byte("same-size-payload")
+	esz := probeEntrySize(t, payload)
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: t.TempDir(), Registry: reg, Budget: 2 * esz})
+
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Key([]byte(fmt.Sprintf("entry-%d", i)))
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget fits exactly two entries; the two oldest are gone, the two
+	// newest remain.
+	for _, k := range keys[:2] {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("oldest entry %s survived eviction", k)
+		}
+		if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+			t.Fatalf("evicted entry file still on disk: %v", err)
+		}
+	}
+	for _, k := range keys[2:] {
+		if got, ok := s.Get(k); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("newest entry %s lost: %q %v", k, got, ok)
+		}
+	}
+	if total := s.TotalBytes(); total != 2*esz {
+		t.Fatalf("TotalBytes = %d, want %d", total, 2*esz)
+	}
+	if v := counterValue(t, reg, "store.gc.evictions"); v != 2 {
+		t.Fatalf("store.gc.evictions = %d, want 2", v)
+	}
+	if v := counterValue(t, reg, "store.gc.bytes_reclaimed"); v != uint64(2*esz) {
+		t.Fatalf("store.gc.bytes_reclaimed = %d, want %d", v, 2*esz)
+	}
+}
+
+func TestGCExactBudgetFitEvictsNothing(t *testing.T) {
+	payload := []byte("exact")
+	esz := probeEntrySize(t, payload)
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: t.TempDir(), Registry: reg, Budget: 2 * esz})
+	for i := 0; i < 2; i++ {
+		if err := s.Put(Key([]byte(fmt.Sprintf("fit-%d", i))), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// total == budget is in budget: the ceiling is inclusive.
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2 at exact budget", n)
+	}
+	if v := counterValue(t, reg, "store.gc.evictions"); v != 0 {
+		t.Fatalf("store.gc.evictions = %d, want 0 at exact fit", v)
+	}
+}
+
+func TestGCPinProtectsInFlightKeys(t *testing.T) {
+	payload := []byte("pinned-payload")
+	esz := probeEntrySize(t, payload)
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: t.TempDir(), Registry: reg, Budget: 2 * esz})
+
+	keyA := Key([]byte("flight-a"))
+	keyB := Key([]byte("flight-b"))
+	keyC := Key([]byte("flight-c"))
+	keyD := Key([]byte("flight-d"))
+
+	if err := s.Put(keyA, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyB, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(keyA)
+	if got := s.Pinned(keyA); got != 1 {
+		t.Fatalf("Pinned = %d, want 1", got)
+	}
+
+	// Overflow: A is the oldest but pinned, so B (next oldest) goes.
+	if err := s.Put(keyC, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyA); !ok {
+		t.Fatal("pinned oldest entry was evicted")
+	}
+	if _, ok := s.Get(keyB); ok {
+		t.Fatal("unpinned entry survived while a pinned one should have been skipped")
+	}
+	if v := counterValue(t, reg, "store.gc.pinned_skips"); v == 0 {
+		t.Fatal("store.gc.pinned_skips = 0, want > 0")
+	}
+
+	// After Unpin the old entry is fair game again.
+	s.Unpin(keyA)
+	if got := s.Pinned(keyA); got != 0 {
+		t.Fatalf("Pinned after Unpin = %d, want 0", got)
+	}
+	if err := s.Put(keyD, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyA); ok {
+		t.Fatal("unpinned oldest entry survived the next eviction pass")
+	}
+}
+
+func TestGCNestedPinsCount(t *testing.T) {
+	s := openWithT(t, Options{Dir: t.TempDir()})
+	key := Key([]byte("nested"))
+	s.Pin(key)
+	s.Pin(key)
+	s.Unpin(key)
+	if got := s.Pinned(key); got != 1 {
+		t.Fatalf("Pinned after pin,pin,unpin = %d, want 1", got)
+	}
+	s.Unpin(key)
+	if got := s.Pinned(key); got != 0 {
+		t.Fatalf("Pinned after final unpin = %d, want 0", got)
+	}
+}
+
+func TestGCJustWrittenEntrySurvivesItsOwnPass(t *testing.T) {
+	payload := []byte("oversized-relative-to-budget")
+	esz := probeEntrySize(t, payload)
+	s := openWithT(t, Options{Dir: t.TempDir(), Budget: esz / 2})
+
+	keyA := Key([]byte("big-a"))
+	keyB := Key([]byte("big-b"))
+	// A single entry over budget survives: evicting the bytes the caller
+	// wanted milliseconds ago is pure thrash.
+	if err := s.Put(keyA, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyA); !ok {
+		t.Fatal("just-written entry evicted by its own write's GC pass")
+	}
+	// The next write for a different key displaces it.
+	if err := s.Put(keyB, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyA); ok {
+		t.Fatal("stale over-budget entry survived a later write")
+	}
+	if _, ok := s.Get(keyB); !ok {
+		t.Fatal("newest write missing")
+	}
+}
+
+func TestGCMinEvictAgeGrace(t *testing.T) {
+	payload := []byte("fresh")
+	esz := probeEntrySize(t, payload)
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{
+		Dir: t.TempDir(), Registry: reg,
+		Budget: esz, MinEvictAge: time.Hour,
+	})
+	if err := s.Put(Key([]byte("g-a")), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key([]byte("g-b")), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Both entries are inside the grace window: the budget is a soft
+	// ceiling, nothing is evicted.
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2 (grace period protects fresh entries)", n)
+	}
+	if v := counterValue(t, reg, "store.gc.evictions"); v != 0 {
+		t.Fatalf("store.gc.evictions = %d, want 0 inside grace window", v)
+	}
+}
+
+func TestGCIndexSeededByRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("restart-survivor")
+	esz := probeEntrySize(t, payload)
+
+	s1 := openWithT(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if err := s1.Put(Key([]byte(fmt.Sprintf("r%d", i))), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.Close()
+
+	// A restarted store learns its size from the recovery scan and the next
+	// write brings it back under budget.
+	reg := telemetry.NewRegistry()
+	s2 := openWithT(t, Options{Dir: dir, Registry: reg, Budget: esz})
+	if total := s2.TotalBytes(); total != 3*esz {
+		t.Fatalf("TotalBytes after reopen = %d, want %d", total, 3*esz)
+	}
+	if err := s2.Put(Key([]byte("r-new")), payload); err != nil {
+		t.Fatal(err)
+	}
+	if total := s2.TotalBytes(); total > esz {
+		t.Fatalf("TotalBytes after post-restart write = %d, want <= %d", total, esz)
+	}
+	if v := counterValue(t, reg, "store.gc.evictions"); v != 3 {
+		t.Fatalf("store.gc.evictions = %d, want 3", v)
+	}
+}
+
+func TestScrubQuarantinesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: dir, Registry: reg})
+
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = Key([]byte(fmt.Sprintf("scrub-%d", i)))
+		if err := s.Put(keys[i], []byte("pristine payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot one entry under the store.
+	p := s.path(keys[1])
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Scrub(context.Background())
+	if rep.Scanned != 3 || rep.Corrupt != 1 {
+		t.Fatalf("ScrubReport = %+v, want Scanned 3 Corrupt 1", rep)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("rotted entry still in place after scrub: %v", err)
+	}
+	if q := s.QuarantinedFiles(); len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want exactly one file", q)
+	}
+	for name, want := range map[string]uint64{
+		"store.scrub.passes":  1,
+		"store.scrub.scanned": 3,
+		"store.scrub.corrupt": 1,
+	} {
+		if v := counterValue(t, reg, name); v != want {
+			t.Errorf("%s = %d, want %d", name, v, want)
+		}
+	}
+	// The intact entries still serve; the rotted one is a clean miss.
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("quarantined entry served as a hit")
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("intact entry %s lost during scrub", k)
+		}
+	}
+}
+
+func TestScrubCanceledContextStopsPass(t *testing.T) {
+	s := openWithT(t, Options{Dir: t.TempDir()})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(Key([]byte(fmt.Sprintf("c%d", i))), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if rep := s.Scrub(ctx); rep.Scanned != 0 {
+		t.Fatalf("canceled scrub scanned %d entries, want 0", rep.Scanned)
+	}
+}
+
+func TestBackgroundScrubberFindsRot(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: dir, Registry: reg, ScrubInterval: 5 * time.Millisecond})
+
+	key := Key([]byte("bg-rot"))
+	if err := s.Put(key, []byte("will rot")); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.QuarantinedFiles()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never quarantined the rotted entry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close() // idempotent with the cleanup close; stops the ticker
+	if v := counterValue(t, reg, "store.scrub.corrupt"); v == 0 {
+		t.Fatal("store.scrub.corrupt = 0 after background quarantine")
+	}
+}
+
+// TestPutNeverLeaksTempFiles is the regression test for the Put error paths:
+// whatever fault fires — ENOSPC on create, EIO on write or fsync, a failed
+// rename — the temp file must not survive the failed Put.
+func TestPutNeverLeaksTempFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  vfs.FaultConfig
+	}{
+		{"enospc on create/write/sync", vfs.FaultConfig{Seed: 1, ENOSPCRate: 1}},
+		{"eio on write/sync", vfs.FaultConfig{Seed: 1, EIORate: 1}},
+		{"rename fails after full write", vfs.FaultConfig{Seed: 1, RenameFailRate: 1}},
+		{"mixed intermittent faults", vfs.FaultConfig{Seed: 77, ENOSPCRate: 0.3, EIORate: 0.3, RenameFailRate: 0.3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			reg := telemetry.NewRegistry()
+			s := openWithT(t, Options{
+				Dir: dir, Registry: reg,
+				FS: vfs.NewFaultFS(tc.cfg, nil),
+				// Keep the breaker out of the way: this test is about the
+				// write path's cleanup, not degradation.
+				BreakerThreshold: 1 << 30,
+			})
+			failures := 0
+			for i := 0; i < 64; i++ {
+				if err := s.Put(Key([]byte(fmt.Sprintf("leak-%d", i))), []byte("payload")); err != nil {
+					if !errors.Is(err, vfs.ErrInjected) {
+						t.Fatalf("Put %d failed with a non-injected error: %v", i, err)
+					}
+					failures++
+				}
+			}
+			if tc.cfg.ENOSPCRate == 1 || tc.cfg.EIORate == 1 || tc.cfg.RenameFailRate == 1 {
+				if failures != 64 {
+					t.Fatalf("rate-1 fault failed %d/64 Puts, want all", failures)
+				}
+			} else if failures == 0 {
+				t.Fatal("mixed-rate fault injected no failures in 64 Puts")
+			}
+			if n := countTempFiles(t, dir); n != 0 {
+				t.Fatalf("%d stray .tmp files after %d failed Puts, want 0", n, failures)
+			}
+			if v := counterValue(t, reg, "store.put.errors"); v != uint64(failures) {
+				t.Fatalf("store.put.errors = %d, want %d", v, failures)
+			}
+			if v := counterValue(t, reg, "store.degraded.writes"); v != uint64(failures) {
+				t.Fatalf("store.degraded.writes = %d, want %d", v, failures)
+			}
+		})
+	}
+}
+
+// TestTornWriteCaughtByIntegrity: a torn write reports success, so Put cannot
+// see it — only the read-side sha256 verification catches the truncation and
+// quarantines the entry.
+func TestTornWriteCaughtByIntegrity(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{
+		Dir:      t.TempDir(),
+		Registry: reg,
+		FS:       vfs.NewFaultFS(vfs.FaultConfig{Seed: 5, TornWriteRate: 1}, nil),
+	})
+	key := Key([]byte("torn"))
+	if err := s.Put(key, []byte("this payload will be silently truncated")); err != nil {
+		t.Fatalf("torn write surfaced as a Put error: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if q := s.QuarantinedFiles(); len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want the torn entry", q)
+	}
+	if v := counterValue(t, reg, "store.corrupt"); v != 1 {
+		t.Fatalf("store.corrupt = %d, want 1", v)
+	}
+}
+
+// TestBreakerDegradeAndRecover drives the write-health breaker through its
+// full arc: consecutive write failures open it, open drops Puts immediately
+// with ErrDegraded, and after the disk "heals" the first post-cooldown Put is
+// the probe that closes it again.
+func TestBreakerDegradeAndRecover(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fsys := vfs.NewFaultFS(vfs.FaultConfig{Seed: 3, EIORate: 1}, nil)
+	s := openWithT(t, Options{
+		Dir: t.TempDir(), Registry: reg, FS: fsys,
+		BreakerThreshold: 2, BreakerCooldown: 30 * time.Millisecond,
+	})
+	key := func(i int) string { return Key([]byte(fmt.Sprintf("brk-%d", i))) }
+
+	// Two real write failures open the breaker.
+	for i := 0; i < 2; i++ {
+		err := s.Put(key(i), []byte("x"))
+		if !errors.Is(err, syscall.EIO) || !errors.Is(err, vfs.ErrInjected) {
+			t.Fatalf("Put %d: err %v, want injected EIO", i, err)
+		}
+	}
+	if v := counterValue(t, reg, "store.breaker.opened"); v != 1 {
+		t.Fatalf("store.breaker.opened = %d, want 1", v)
+	}
+
+	// Open: the next Put is dropped without touching the disk.
+	if err := s.Put(key(2), []byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put while open: err %v, want ErrDegraded", err)
+	}
+	if v := counterValue(t, reg, "store.breaker.dropped"); v != 1 {
+		t.Fatalf("store.breaker.dropped = %d, want 1", v)
+	}
+	if v := counterValue(t, reg, "store.degraded.writes"); v != 3 {
+		t.Fatalf("store.degraded.writes = %d, want 3 (2 failures + 1 drop)", v)
+	}
+
+	// Heal the disk and wait out the cooldown: the next Put is the half-open
+	// probe, it succeeds, and writes are back.
+	fsys.SetEnabled(false)
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Put(key(3), []byte("probe")); err != nil {
+		t.Fatalf("probe Put after heal: %v", err)
+	}
+	if err := s.Put(key(4), []byte("steady")); err != nil {
+		t.Fatalf("steady-state Put after close: %v", err)
+	}
+	for _, i := range []int{3, 4} {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("post-recovery entry %d missing", i)
+		}
+	}
+	if v := counterValue(t, reg, "store.writes"); v != 2 {
+		t.Fatalf("store.writes = %d, want 2", v)
+	}
+}
+
+// blockQuarantineFS fails every rename into the quarantine directory —
+// the disk shape where even setting corruption aside fails.
+type blockQuarantineFS struct {
+	vfs.FS
+}
+
+func (b blockQuarantineFS) Rename(oldpath, newpath string) error {
+	if strings.Contains(newpath, string(filepath.Separator)+QuarantineDir+string(filepath.Separator)) {
+		return errors.New("injected: quarantine rename blocked")
+	}
+	return b.FS.Rename(oldpath, newpath)
+}
+
+func TestQuarantineRenameFallsBackToRemoval(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s := openWithT(t, Options{Dir: dir, Registry: reg, FS: blockQuarantineFS{vfs.OS()}})
+
+	key := Key([]byte("unquarantinable"))
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if v := counterValue(t, reg, "store.quarantine.failed"); v != 1 {
+		t.Fatalf("store.quarantine.failed = %d, want 1", v)
+	}
+	// The fallback removed the file: forensics lost, but the corrupt bytes
+	// can never be served again.
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still on disk after fallback removal: %v", err)
+	}
+	if q := s.QuarantinedFiles(); len(q) != 0 {
+		t.Fatalf("quarantine holds %v, want empty (rename was blocked)", q)
+	}
+}

@@ -33,6 +33,15 @@ var promHelp = map[string]string{
 	"store.recovery.entries":     "Valid entries indexed by the startup recovery scan.",
 	"runner.checkpoint.writes":   "Atomic+durable runner checkpoint writes (one per completed point).",
 	"runner.checkpoint.corrupt":  "Unparseable runner checkpoints quarantined as .corrupt; the campaign recomputed identical results from scratch.",
+	"runner.checkpoint.degraded": "Campaigns that lost checkpointing to a disk fault and ran to completion without resume protection.",
+	"store.degraded.writes":      "Result-cache writes shed by a disk fault or open write-health breaker; the campaign was served uncached.",
+	"store.breaker.opened":       "Store write-health breaker trips: consecutive write failures crossed the threshold, so writes shed without touching the disk until the cooldown probe succeeds.",
+	"store.quarantine.failed":    "Corrupt entries that could not be renamed into quarantine and were deleted in place as a fallback.",
+	"store.scrub.passes":         "Completed store integrity-scrub passes (background cadence or POST /v1/store/scrub).",
+	"store.scrub.corrupt":        "Entries a scrub pass found failing content verification and quarantined before any read hit them.",
+	"store.gc.evictions":         "Entries evicted oldest-first to hold the store under its size budget.",
+	"store.gc.bytes_reclaimed":   "Bytes reclaimed by budget evictions.",
+	"server.campaigns.degraded":  "Campaigns served successfully with their result-cache write shed (X-Afterimage-Cache: degraded).",
 	"cluster.dispatch.requests":  "Campaign jobs entering cluster dispatch.",
 	"cluster.dispatch.worker_ok": "Dispatches completed by a pool worker.",
 	"cluster.dispatch.local":     "Dispatches degraded to local in-process execution (no dispatchable worker).",

@@ -156,6 +156,15 @@ func TestPrometheusCuratedHelp(t *testing.T) {
 	reg.Counter("cluster.dispatch.local").Add(1)
 	reg.Counter("cluster.workers.evicted").Add(1)
 	reg.Gauge("cluster.workers.healthy").Set(2)
+	reg.Counter("store.degraded.writes").Add(4)
+	reg.Counter("store.breaker.opened").Add(1)
+	reg.Counter("store.quarantine.failed").Add(1)
+	reg.Counter("store.scrub.passes").Add(6)
+	reg.Counter("store.scrub.corrupt").Add(1)
+	reg.Counter("store.gc.evictions").Add(7)
+	reg.Counter("store.gc.bytes_reclaimed").Add(4096)
+	reg.Counter("runner.checkpoint.degraded").Add(2)
+	reg.Counter("server.campaigns.degraded").Add(4)
 	reg.Counter("some.other.counter").Add(5)
 
 	var buf bytes.Buffer
@@ -175,6 +184,17 @@ func TestPrometheusCuratedHelp(t *testing.T) {
 		"# HELP afterimage_cluster_workers_evicted_total Workers evicted for missing heartbeats past the deadline.",
 		"# HELP afterimage_cluster_workers_healthy Workers currently passing heartbeat probes.",
 		"afterimage_cluster_workers_healthy 2",
+		"# HELP afterimage_store_degraded_writes_total Result-cache writes shed by a disk fault or open write-health breaker; the campaign was served uncached.",
+		"afterimage_store_degraded_writes_total 4",
+		"# HELP afterimage_store_breaker_opened_total Store write-health breaker trips: consecutive write failures crossed the threshold, so writes shed without touching the disk until the cooldown probe succeeds.",
+		"# HELP afterimage_store_quarantine_failed_total Corrupt entries that could not be renamed into quarantine and were deleted in place as a fallback.",
+		"# HELP afterimage_store_scrub_passes_total Completed store integrity-scrub passes (background cadence or POST /v1/store/scrub).",
+		"# HELP afterimage_store_scrub_corrupt_total Entries a scrub pass found failing content verification and quarantined before any read hit them.",
+		"# HELP afterimage_store_gc_evictions_total Entries evicted oldest-first to hold the store under its size budget.",
+		"# HELP afterimage_store_gc_bytes_reclaimed_total Bytes reclaimed by budget evictions.",
+		"afterimage_store_gc_bytes_reclaimed_total 4096",
+		"# HELP afterimage_runner_checkpoint_degraded_total Campaigns that lost checkpointing to a disk fault and ran to completion without resume protection.",
+		"# HELP afterimage_server_campaigns_degraded_total Campaigns served successfully with their result-cache write shed (X-Afterimage-Cache: degraded).",
 		// Uncurated names keep the generic fallback.
 		"# HELP afterimage_some_other_counter_total Counter some.other.counter.",
 	}

@@ -1,0 +1,92 @@
+// Package vfs is the filesystem seam under the campaign service's durable
+// state (the content-addressed result store and the runner's checkpoints).
+// Production code writes through the FS interface instead of calling os.*
+// directly, which buys two things:
+//
+//   - Fault injection: FaultFS wraps any FS with a deterministic seeded
+//     schedule of disk faults (ENOSPC, EIO on write/sync, silent torn
+//     short-writes, rename failures) — the same pure-function-of-seed shape
+//     as the cluster's network-fault injector, so a disk-chaos run is
+//     replayable from its seed.
+//   - A single durability idiom: SyncDir lives here (with the
+//     EINVAL/ENOTSUP tolerance network mounts need) so every atomic
+//     write-temp → fsync → rename → fsync-dir sequence in the tree shares
+//     one implementation.
+//
+// The interface is deliberately small — exactly the operations the store and
+// checkpoint writers perform. Read-side faults (bit rot) are not injected
+// here: flipping bytes in a real file exercises the exact read-verification
+// path production takes, so the chaos tests do that directly.
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the writable handle Create returns: the write → fsync → close leg
+// of an atomic durable write.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durable-state layers consume. All paths
+// are ordinary OS paths; implementations must be safe for concurrent use.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Create opens path for writing, truncating any existing file
+	// (O_WRONLY|O_CREATE|O_TRUNC, 0644).
+	Create(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// Stat describes a path.
+	Stat(path string) (fs.FileInfo, error)
+	// Remove deletes a file.
+	Remove(path string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs a directory so a completed rename inside it is durable.
+	SyncDir(path string) error
+}
+
+// osFS is the passthrough implementation over the real filesystem.
+type osFS struct{}
+
+// OS returns the real-filesystem FS. It is stateless; every call returns an
+// equivalent value.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Stat(path string) (fs.FileInfo, error)      { return os.Stat(path) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+
+// SyncDir fsyncs a directory so a just-completed rename inside it is durable,
+// not merely atomic. Filesystems that refuse to fsync directories (some
+// network mounts) are tolerated: atomicity still holds there, durability is
+// whatever the mount provides.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
