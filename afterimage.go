@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"afterimage/internal/detrand"
 	"afterimage/internal/sim"
 )
 
@@ -84,7 +85,10 @@ type Options struct {
 type Lab struct {
 	opts Options
 	m    *sim.Machine
-	rng  *rand.Rand
+	// rng is detrand-backed (stream-identical to the plain source it
+	// replaced) so Fork can clone it at its exact position.
+	rng    *rand.Rand
+	rngSrc *detrand.Source
 
 	// traceOn / traceCap remember EnableTrace so campaign drivers
 	// (RunFaultSweep) can propagate the same tracing configuration into the
@@ -118,7 +122,41 @@ func NewLab(opts Options) *Lab {
 	cfg.MaxCycles = opts.MaxCycles
 	m := sim.NewMachine(cfg)
 	m.SetAuditEvery(opts.AuditEvery)
-	return &Lab{opts: opts, m: m, rng: rand.New(rand.NewSource(opts.Seed + 31))}
+	l := &Lab{opts: opts, m: m}
+	l.rng, l.rngSrc = detrand.New(opts.Seed + 31)
+	return l
+}
+
+// Fork returns an independent lab whose simulated state is bit-identical
+// to the receiver's: the machine forks (see sim.Machine.Fork) and the
+// lab-level RNG clones at its exact stream position. Forking a pristine
+// lab is observably equivalent to NewLab with the same options — the
+// property the fork-vs-fresh differential suite gates — while forking a
+// warmed lab shares the warm prefix with the parent at the cost of a few
+// slice copies. Tracing is re-enabled on the fork's own hub when the
+// parent had it on; the retained parent trace is not carried over.
+func (l *Lab) Fork() (*Lab, error) {
+	fm, err := l.m.Fork()
+	if err != nil {
+		return nil, err
+	}
+	f := &Lab{opts: l.opts, m: fm, traceOn: l.traceOn, traceCap: l.traceCap}
+	f.rngSrc = l.rngSrc.Clone()
+	f.rng = rand.New(f.rngSrc)
+	if l.traceOn {
+		fm.Telemetry().EnableTrace(l.traceCap)
+	}
+	return f, nil
+}
+
+// MustFork is Fork that panics on failure (a mid-run fork is a programming
+// error).
+func (l *Lab) MustFork() *Lab {
+	f, err := l.Fork()
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // Machine exposes the underlying simulator for advanced use (building

@@ -145,61 +145,88 @@ func TestHotPathDifferentialFaultSweep(t *testing.T) {
 	}
 }
 
-// randomTraceDigest drives one machine through a randomized access trace —
-// strided and pointer-chase loads under many IPs, cross-process shared
-// mappings, reclaimable aliasing, flushes, fences, TLB-thrashing sweeps —
-// and returns the final full-state hash. Everything derives from the seed,
-// so the digest is a pure function of it.
-func randomTraceDigest(seed int64) uint64 {
+// traceRig is one randomized-trace machine with its processes, envs and
+// mappings bound: the shared substrate of the hot-path and fork-vs-fresh
+// differential suites. The fork differential re-binds the same rig over a
+// forked machine (see forkTraceRig in fork_diff_test.go) and replays the
+// identical step stream, so the driver below must be the single source of
+// the trace semantics.
+type traceRig struct {
+	m                                 *sim.Machine
+	ea, eb                            *sim.Env
+	bufA, recl, shared, sharedB, bufB *mem.Mapping
+}
+
+// newTraceRig boots a quiet machine with the differential suite's standard
+// topology: two processes, locked/reclaimable/shared mappings in A, a
+// cross-process alias of the shared mapping in B, and a private buffer in B.
+func newTraceRig(seed int64) *traceRig {
 	m := sim.NewMachine(sim.Quiet(sim.CoffeeLake(seed)))
 	pa := m.NewProcess("a")
 	pb := m.NewProcess("b")
-	ea, eb := m.Direct(pa), m.Direct(pb)
+	r := &traceRig{m: m, ea: m.Direct(pa), eb: m.Direct(pb)}
 
-	bufA := ea.Mmap(32*mem.PageSize, mem.MapLocked)
-	recl := ea.Mmap(16*mem.PageSize, mem.MapReclaimable)
-	shared := ea.Mmap(4*mem.PageSize, mem.MapShared)
-	sharedB := pb.AS.MapExisting(shared)
-	bufB := eb.Mmap(8*mem.PageSize, mem.MapLocked)
+	r.bufA = r.ea.Mmap(32*mem.PageSize, mem.MapLocked)
+	r.recl = r.ea.Mmap(16*mem.PageSize, mem.MapReclaimable)
+	r.shared = r.ea.Mmap(4*mem.PageSize, mem.MapShared)
+	r.sharedB = pb.AS.MapExisting(r.shared)
+	r.bufB = r.eb.Mmap(8*mem.PageSize, mem.MapLocked)
+	return r
+}
 
-	rng := m.Rand()
-	for step := 0; step < 4000; step++ {
+// run executes steps of the randomized access trace — strided and
+// pointer-chase loads under many IPs, cross-process shared mappings,
+// reclaimable aliasing, flushes, fences, TLB-thrashing sweeps. Decisions
+// draw from the machine's own auxiliary RNG, which Machine.Fork clones at
+// its exact stream position, so a run split across a fork consumes the
+// same decision stream as an unbroken run.
+func (r *traceRig) run(steps int) {
+	rng := r.m.Rand()
+	for step := 0; step < steps; step++ {
 		switch rng.Intn(10) {
 		case 0, 1, 2: // strided loads in A: trains the IP-stride table
 			ip := 0x400000 + uint64(rng.Intn(16))*0x40
 			stride := int64(rng.Intn(64)-32) * mem.LineSize
-			base := bufA.Base + mem.VAddr(rng.Intn(24))*mem.PageSize
+			base := r.bufA.Base + mem.VAddr(rng.Intn(24))*mem.PageSize
 			v := int64(base) + int64(rng.Intn(32))*mem.LineSize
 			for i := 0; i < 4; i++ {
-				if v >= int64(bufA.Base) && v < int64(bufA.End()) {
-					ea.Load(ip, mem.VAddr(v))
+				if v >= int64(r.bufA.Base) && v < int64(r.bufA.End()) {
+					r.ea.Load(ip, mem.VAddr(v))
 				}
 				v += stride
 			}
 		case 3: // reclaimable-pool loads: page-aliased frames
-			ea.Load(0x400800, recl.Base+mem.VAddr(rng.Intn(16))*mem.PageSize+
+			r.ea.Load(0x400800, r.recl.Base+mem.VAddr(rng.Intn(16))*mem.PageSize+
 				mem.VAddr(rng.Intn(64))*mem.LineSize)
 		case 4: // cross-process shared-mapping loads (Flush+Reload substrate)
 			off := mem.VAddr(rng.Intn(4)) * mem.PageSize
-			ea.Load(0x401000, shared.Base+off)
-			eb.Load(0x501000, sharedB.Base+off)
+			r.ea.Load(0x401000, r.shared.Base+off)
+			r.eb.Load(0x501000, r.sharedB.Base+off)
 		case 5: // B's private loads: TLB/cache capacity contention
-			eb.Load(0x500000+uint64(rng.Intn(8))*0x40,
-				bufB.Base+mem.VAddr(rng.Intn(8))*mem.PageSize+
+			r.eb.Load(0x500000+uint64(rng.Intn(8))*0x40,
+				r.bufB.Base+mem.VAddr(rng.Intn(8))*mem.PageSize+
 					mem.VAddr(rng.Intn(64))*mem.LineSize)
 		case 6: // clflush of a recently plausible line
-			ea.Flush(bufA.Base + mem.VAddr(rng.Intn(32*64))*mem.LineSize)
+			r.ea.Flush(r.bufA.Base + mem.VAddr(rng.Intn(32*64))*mem.LineSize)
 		case 7: // serialising fence: resets stream detectors
-			ea.Fence()
+			r.ea.Fence()
 		case 8: // timed load: the attacker's measurement path (jitter RNG)
-			ea.TimeLoad(0x402000, bufA.Base+mem.VAddr(rng.Intn(32*64))*mem.LineSize)
+			r.ea.TimeLoad(0x402000, r.bufA.Base+mem.VAddr(rng.Intn(32*64))*mem.LineSize)
 		case 9: // TLB-thrashing page sweep
 			for i := 0; i < 8; i++ {
-				ea.Load(0x403000, bufA.Base+mem.VAddr(rng.Intn(32))*mem.PageSize)
+				r.ea.Load(0x403000, r.bufA.Base+mem.VAddr(rng.Intn(32))*mem.PageSize)
 			}
 		}
 	}
-	return m.StateHash()
+}
+
+// randomTraceDigest drives one machine through the full randomized trace
+// and returns the final full-state hash. Everything derives from the seed,
+// so the digest is a pure function of it.
+func randomTraceDigest(seed int64) uint64 {
+	r := newTraceRig(seed)
+	r.run(4000)
+	return r.m.StateHash()
 }
 
 // TestHotPathDifferentialRandomTraces replays randomized load traces over

@@ -1,0 +1,68 @@
+package cache
+
+import "afterimage/internal/detrand"
+
+// Fork support: deep-copy a cache level (and the whole hierarchy) so a
+// forked machine can diverge from a warmed parent without sharing mutable
+// state. The flat-slice layout (PR 5) makes this a handful of bulk slice
+// copies — no per-set objects to walk. Profiling note: a full-slice copy of
+// a warmed Coffee Lake hierarchy is a few hundred KiB of memmove, far below
+// the cost of re-warming, and avoids any copy-on-write bookkeeping on the
+// per-access hot path, so the "cheap full-slice copy" arm of the fork
+// design wins outright.
+
+// clone deep-copies the replacement engine. Immutable precomputed tables
+// (tsetM/tclrM — Tree-PLRU touch masks, fixed at construction) are shared;
+// everything mutable is copied, and RandomPolicy sources are cloned at
+// their exact stream position so parent and fork draw identical victims.
+func (pa *policyArray) clone() *policyArray {
+	c := &policyArray{
+		kind:    pa.kind,
+		ways:    pa.ways,
+		tsetM:   pa.tsetM,
+		tclrM:   pa.tclrM,
+		tpacked: pa.tpacked,
+		tnodes:  pa.tnodes,
+	}
+	if pa.clocks != nil {
+		c.clocks = append([]uint64(nil), pa.clocks...)
+		c.stamps = append([]uint64(nil), pa.stamps...)
+	}
+	if pa.mru != nil {
+		c.mru = append([]bool(nil), pa.mru...)
+		c.ones = append([]int32(nil), pa.ones...)
+	}
+	if pa.tbits != nil {
+		c.tbits = append([]bool(nil), pa.tbits...)
+	}
+	if pa.twords != nil {
+		c.twords = append([]uint64(nil), pa.twords...)
+	}
+	if pa.srcs != nil {
+		c.srcs = make([]*detrand.Source, len(pa.srcs))
+		for g, s := range pa.srcs {
+			c.srcs[g] = s.Clone()
+		}
+	}
+	return c
+}
+
+// Fork returns an independent deep copy of the cache. Tag/valid/prefetched
+// arrays, replacement state and counters are copied; the way predictor is
+// dropped (predOK=false) exactly as Restore drops it — it caches only a
+// location, so clearing it never changes observable state.
+func (c *Cache) Fork() *Cache {
+	f := *c
+	f.lines = append([]uint64(nil), c.lines...)
+	f.valid = append([]bool(nil), c.valid...)
+	f.prefetched = append([]bool(nil), c.prefetched...)
+	f.vcnt = append([]int32(nil), c.vcnt...)
+	f.pol = c.pol.clone()
+	f.predLine, f.predIdx, f.predG, f.predOK = 0, 0, 0, false
+	return &f
+}
+
+// Fork returns an independent deep copy of the whole hierarchy.
+func (h *Hierarchy) Fork() *Hierarchy {
+	return &Hierarchy{L1: h.L1.Fork(), L2: h.L2.Fork(), LLC: h.LLC.Fork(), Lat: h.Lat}
+}

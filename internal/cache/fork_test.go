@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+func forkTestHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyConfig{
+		L1: Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8,
+			LineSize: mem.LineSize, Policy: TreePLRU},
+		L2: Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4,
+			LineSize: mem.LineSize, Policy: TreePLRU},
+		LLC: Config{Name: "LLC", SizeBytes: 2 << 20, Ways: 16,
+			LineSize: mem.LineSize, Policy: LRU},
+		Lat: Latencies{L1: 4, L2: 14, LLC: 44, DRAM: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func hierarchyHash(h *Hierarchy) [3]uint64 {
+	return [3]uint64{h.L1.StateHash(), h.L2.StateHash(), h.LLC.StateHash()}
+}
+
+// TestHierarchyForkBitIdentical: a fork hashes identically to its parent at
+// every level, and an identical load stream applied to both keeps them
+// identical — hit levels, latencies and final hashes.
+func TestHierarchyForkBitIdentical(t *testing.T) {
+	h := forkTestHierarchy(t)
+	for i := 0; i < 4096; i++ {
+		h.Load(mem.PAddr(i%1500) * mem.LineSize)
+	}
+	f := h.Fork()
+	if hierarchyHash(f) != hierarchyHash(h) {
+		t.Fatal("fork hashes differ from parent at rest")
+	}
+	for i := 0; i < 2048; i++ {
+		pa := mem.PAddr((i*7)%3000) * mem.LineSize
+		la, ca := h.Load(pa)
+		lb, cb := f.Load(pa)
+		if la != lb || ca != cb {
+			t.Fatalf("load %d: parent (%v,%d), fork (%v,%d)", i, la, ca, lb, cb)
+		}
+	}
+	if hierarchyHash(f) != hierarchyHash(h) {
+		t.Fatal("fork diverged from parent under an identical load stream")
+	}
+}
+
+// TestCacheForkDropsWayPredictor: Fork resets the one-entry way-predictor
+// memo exactly as Restore does. The memo caches only a location, so its
+// absence must not change observable state — verified by the hash equality
+// in TestHierarchyForkBitIdentical; here we pin the reset itself.
+func TestCacheForkDropsWayPredictor(t *testing.T) {
+	h := forkTestHierarchy(t)
+	pa := mem.PAddr(64) * mem.LineSize
+	h.Load(pa)
+	h.Load(pa) // hit: arms the L1 predictor
+	if !h.L1.predOK {
+		t.Fatal("parent predictor not armed (test substrate broken)")
+	}
+	f := h.Fork()
+	for name, c := range map[string]*Cache{"L1": f.L1, "L2": f.L2, "LLC": f.LLC} {
+		if c.predOK {
+			t.Fatalf("%s fork carried the way-predictor memo", name)
+		}
+	}
+	if !h.L1.predOK {
+		t.Fatal("forking cleared the parent's predictor")
+	}
+}
+
+// TestCacheForkIndependence: loads and flushes on the fork leave the parent
+// byte-identical, and vice versa — the slices must be copies, the policy
+// state per-fork, and only the tree tables (immutable) shared.
+func TestCacheForkIndependence(t *testing.T) {
+	h := forkTestHierarchy(t)
+	for i := 0; i < 1024; i++ {
+		h.Load(mem.PAddr(i) * mem.LineSize)
+	}
+	before := hierarchyHash(h)
+	f := h.Fork()
+	for i := 1024; i < 4096; i++ {
+		f.Load(mem.PAddr(i) * mem.LineSize)
+	}
+	f.Flush(mem.PAddr(512) * mem.LineSize)
+	if hierarchyHash(h) != before {
+		t.Fatal("fork activity mutated the parent")
+	}
+	fAfter := hierarchyHash(f)
+	h.Load(mem.PAddr(9000) * mem.LineSize)
+	if hierarchyHash(f) != fAfter {
+		t.Fatal("parent activity mutated the fork")
+	}
+}

@@ -127,6 +127,33 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// Fork returns an independent deep copy of the simulator: caches, TLB and
+// prefetcher suite fork (see their Fork methods), the accumulated result
+// and flush schedule copy. Replaying the same records on the fork and on
+// an identically configured fresh simulator produces identical results.
+func (s *Simulator) Fork() *Simulator {
+	return &Simulator{
+		cfg:       s.cfg,
+		mem:       s.mem.Fork(),
+		tlb:       s.tlb.Fork(nil),
+		pref:      s.pref.Fork(),
+		nextFlush: s.nextFlush,
+		res:       s.res,
+	}
+}
+
+// SetFlushInterval reconfigures the periodic clear-ip-prefetcher
+// mitigation (0 disables it), scheduling the next flush one interval past
+// the cycles accumulated so far — on a pristine simulator this is exactly
+// the schedule New(cfg) would have installed.
+func (s *Simulator) SetFlushInterval(interval uint64) {
+	s.cfg.FlushIntervalCycles = interval
+	s.nextFlush = 0
+	if interval > 0 {
+		s.nextFlush = s.res.Cycles + interval
+	}
+}
+
 // DisableIPStride turns the IP-stride prefetcher off entirely (the
 // "disable the prefetcher" baseline of §8.2).
 func (s *Simulator) DisableIPStride() {
@@ -227,20 +254,17 @@ func (a AppResult) PrefetchBenefit() float64 {
 func RunApp(cfg Config, p trace.Profile, n int, flushInterval uint64, seed int64) (AppResult, error) {
 	records := trace.NewGenerator(p, seed).Generate(n)
 
+	// Build the hierarchy/TLB/suite once and fork the two variants off the
+	// pristine base — bit-identical to three New(cfg) calls (the property
+	// the fork-equivalence suite gates) at a third of the setup cost. The
+	// forks must happen before base.Run mutates any shared-at-build state.
 	base, err := New(cfg)
 	if err != nil {
 		return AppResult{}, err
 	}
-	mitCfg := cfg
-	mitCfg.FlushIntervalCycles = flushInterval
-	mit, err := New(mitCfg)
-	if err != nil {
-		return AppResult{}, err
-	}
-	nop, err := New(cfg)
-	if err != nil {
-		return AppResult{}, err
-	}
+	mit := base.Fork()
+	mit.SetFlushInterval(flushInterval)
+	nop := base.Fork()
 	nop.DisableIPStride()
 
 	return AppResult{

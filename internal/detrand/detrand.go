@@ -73,3 +73,13 @@ func (s *Source) Restore(draws uint64) {
 	}
 	s.draws = draws
 }
+
+// Clone returns an independent source at the same stream position: same
+// seed, same draw count, separate underlying generator. The clone and the
+// original produce identical subsequent streams without sharing state —
+// the primitive Machine.Fork uses to make forks RNG-independent.
+func (s *Source) Clone() *Source {
+	c := NewSource(s.seed)
+	c.Restore(s.draws)
+	return c
+}

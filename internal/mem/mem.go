@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+
+	"afterimage/internal/detrand"
 )
 
 // PageSize is the (only) supported page size, 4 KiB.
@@ -132,8 +134,8 @@ const (
 // unmapped; unallocated leaves stay nil. A lookup is two array indexes —
 // no hashing, no per-access allocation.
 type pageTable struct {
-	baseChunk uint64     // chunk index covered by dir[0]
-	dir       [][]uint64 // leaf per chunk; entry = PFN+1, 0 = unmapped
+	baseChunk uint64            // chunk index covered by dir[0]
+	dir       [][]uint64        // leaf per chunk; entry = PFN+1, 0 = unmapped
 	overflow  map[uint64]uint64 // VPN -> PFN outside directory coverage
 }
 
@@ -221,7 +223,8 @@ type AddressSpace struct {
 	pages    pageTable // VPN -> PFN radix table
 	mappings []*Mapping
 	nextBase VAddr
-	aslr     *rand.Rand // nil disables ASLR
+	aslr     *rand.Rand      // nil disables ASLR
+	aslrSrc  *detrand.Source // counting source backing aslr (nil iff aslr is)
 }
 
 // nextASID is atomic: labs on parallel campaign workers allocate address
@@ -240,7 +243,9 @@ func NewAddressSpace(name string, phys *PhysMemory, aslrSeed int64) *AddressSpac
 		nextBase: VAddr(0x5555_0000_0000),
 	}
 	if aslrSeed != 0 {
-		as.aslr = rand.New(rand.NewSource(aslrSeed))
+		// detrand is stream-identical to rand.New(rand.NewSource(seed)); the
+		// counting source is what lets Clone resume ASLR mid-stream.
+		as.aslr, as.aslrSrc = detrand.New(aslrSeed)
 	}
 	return as
 }
@@ -339,4 +344,63 @@ func (as *AddressSpace) MustMmap(length uint64, kind MapKind) *Mapping {
 		panic(err)
 	}
 	return m
+}
+
+// Clone returns a deep copy of the physical memory allocator.
+func (p *PhysMemory) Clone() *PhysMemory {
+	c := *p
+	return &c
+}
+
+// clone deep-copies a mapping, including its frame slice.
+func (m *Mapping) clone() *Mapping {
+	c := *m
+	c.frames = append([]uint64(nil), m.frames...)
+	return &c
+}
+
+// clone deep-copies the radix table: fresh directory with copied leaves
+// (nil leaves stay nil, preserving sparseness) and a copied overflow map.
+func (pt *pageTable) clone() pageTable {
+	c := pageTable{baseChunk: pt.baseChunk}
+	if pt.dir != nil {
+		c.dir = make([][]uint64, len(pt.dir))
+		for i, leaf := range pt.dir {
+			if leaf != nil {
+				c.dir[i] = append([]uint64(nil), leaf...)
+			}
+		}
+	}
+	if pt.overflow != nil {
+		c.overflow = make(map[uint64]uint64, len(pt.overflow))
+		for k, v := range pt.overflow {
+			c.overflow[k] = v
+		}
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the address space backed by
+// phys (normally the forked machine's own PhysMemory clone). The copy gets
+// a fresh ASID — TLB entries tagged with the parent's ASID must be remapped
+// by the caller — while page tables, mappings, allocation cursor, and ASLR
+// stream position are byte-identical, so subsequent Mmap calls in parent
+// and clone pick the same bases.
+func (as *AddressSpace) Clone(phys *PhysMemory) *AddressSpace {
+	c := &AddressSpace{
+		ID:       nextASID.Add(1),
+		Name:     as.Name,
+		phys:     phys,
+		pages:    as.pages.clone(),
+		nextBase: as.nextBase,
+	}
+	c.mappings = make([]*Mapping, len(as.mappings))
+	for i, m := range as.mappings {
+		c.mappings[i] = m.clone()
+	}
+	if as.aslrSrc != nil {
+		src := as.aslrSrc.Clone()
+		c.aslr, c.aslrSrc = rand.New(src), src
+	}
+	return c
 }

@@ -24,8 +24,11 @@ func (p *IPStride) Audit() []error {
 		if e.Confidence < 0 || e.Confidence > p.cfg.MaxConfidence {
 			errs = append(errs, fmt.Errorf("ipstride: slot %d confidence %d outside [0,%d]", i, e.Confidence, p.cfg.MaxConfidence))
 		}
-		if e.Stride <= -p.cfg.MaxStrideBytes || e.Stride >= p.cfg.MaxStrideBytes {
-			errs = append(errs, fmt.Errorf("ipstride: slot %d stride %d outside (-%d,%d)", i, e.Stride, p.cfg.MaxStrideBytes, p.cfg.MaxStrideBytes))
+		// truncStride wraps into the two's-complement field [-max, max):
+		// exactly -max is representable (the fork-isolation property test
+		// caught this edge), only values beyond the field are corruption.
+		if e.Stride < -p.cfg.MaxStrideBytes || e.Stride >= p.cfg.MaxStrideBytes {
+			errs = append(errs, fmt.Errorf("ipstride: slot %d stride %d outside [-%d,%d)", i, e.Stride, p.cfg.MaxStrideBytes, p.cfg.MaxStrideBytes))
 		}
 		if e.Tag&^p.mask != 0 {
 			errs = append(errs, fmt.Errorf("ipstride: slot %d tag %#x exceeds %d index bits", i, e.Tag, p.cfg.IndexBits))

@@ -1,0 +1,28 @@
+package prefetcher
+
+import "testing"
+
+// TestAuditStrideFieldEdges pins the audit's stride bound to the field
+// truncStride actually produces: two's-complement [-max, max). The
+// fork-isolation property test originally caught Audit rejecting a
+// legitimately learned stride of exactly -max.
+func TestAuditStrideFieldEdges(t *testing.T) {
+	cfg := DefaultIPStrideConfig()
+	if got := truncStride(-cfg.MaxStrideBytes, cfg.MaxStrideBytes); got != -cfg.MaxStrideBytes {
+		t.Fatalf("truncStride(-max) = %d, want %d", got, -cfg.MaxStrideBytes)
+	}
+
+	p := NewIPStride(cfg)
+	p.CorruptStride(0, -cfg.MaxStrideBytes) // representable field edge
+	if errs := p.Audit(); len(errs) != 0 {
+		t.Fatalf("stride -max flagged as corruption: %v", errs)
+	}
+	p.CorruptStride(0, cfg.MaxStrideBytes) // +max wraps in hardware, never stored
+	if errs := p.Audit(); len(errs) == 0 {
+		t.Fatal("stride +max not flagged as corruption")
+	}
+	p.CorruptStride(0, -cfg.MaxStrideBytes-1)
+	if errs := p.Audit(); len(errs) == 0 {
+		t.Fatal("stride below -max not flagged as corruption")
+	}
+}

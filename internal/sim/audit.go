@@ -24,7 +24,38 @@ func (m *Machine) buildInvariants() *invariant.Registry {
 		return append(vs, m.auditTLBCoherence()...)
 	})
 	reg.Register("sched", m.auditScheduler)
+	reg.Register("mem.spaces", m.auditSpaces)
 	return reg
+}
+
+// auditSpaces checks machine↔address-space wiring: every space (kernel plus
+// processes) carries a distinct ASID, and the kernel noise region is one of
+// THIS machine's kernel mappings with a live translation. The pointer
+// identity check is what catches a botched fork: a forked machine whose
+// noiseRegion still aims at the parent's mapping would silently read the
+// parent's layout.
+func (m *Machine) auditSpaces() []invariant.Violation {
+	var vs []invariant.Violation
+	seen := map[uint64]string{m.Kernel.AS.ID: m.Kernel.Name}
+	for _, p := range m.procs {
+		if prev, dup := seen[p.AS.ID]; dup {
+			vs = append(vs, invariant.Violationf("mem.spaces", "address spaces %q and %q share ASID %d", prev, p.Name, p.AS.ID))
+		}
+		seen[p.AS.ID] = p.Name
+	}
+	owned := false
+	for _, mp := range m.Kernel.AS.Mappings() {
+		if mp == m.noiseRegion {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		vs = append(vs, invariant.Violationf("mem.spaces", "kernel noise region %#x not among this machine's kernel mappings", uint64(m.noiseRegion.Base)))
+	} else if _, ok := m.Kernel.AS.Translate(m.noiseRegion.Base); !ok {
+		vs = append(vs, invariant.Violationf("mem.spaces", "kernel noise region base %#x has no translation", uint64(m.noiseRegion.Base)))
+	}
+	return vs
 }
 
 func asViolations(component string, errs []error) []invariant.Violation {

@@ -57,6 +57,17 @@ func (e *Env) Load(ip uint64, v mem.VAddr) uint64 {
 	return lat
 }
 
+// LoadBatch executes a chunk of load instructions back to back, appending
+// each load's raw latency to lats and returning the extended slice (pass
+// a reused buffer — or nil — exactly like append). The batch is equivalent
+// to calling Load per element: same state transitions, same latencies,
+// same faults at the same element; only the per-load dispatch is amortised
+// across the chunk. A caller reusing lats' capacity pays zero allocations
+// in steady state.
+func (e *Env) LoadBatch(ops []LoadOp, lats []uint64) []uint64 {
+	return e.m.loadBatch(e, ops, lats)
+}
+
 // TimeLoad executes a load bracketed by serialising timestamp reads and
 // returns the measured latency (true latency + overhead + jitter).
 func (e *Env) TimeLoad(ip uint64, v mem.VAddr) uint64 {

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+// Forked-machine selfcheck suite: Machine.Fork must hand back a machine the
+// full invariant registry accepts (TLB coherence under remapped ASIDs,
+// noise-region identity, distinct spaces) and on which every corruption
+// class is still caught — with corruption on either side of the fork
+// invisible to the other.
+
+// TestForkedMachineAuditsClean: a fork of a warmed machine passes the full
+// audit, and so does a fork of a fork.
+func TestForkedMachineAuditsClean(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	f := m.MustFork()
+	if err := f.Audit(); err != nil {
+		t.Fatalf("forked machine fails audit: %v", err)
+	}
+	if err := f.MustFork().Audit(); err != nil {
+		t.Fatalf("fork of a fork fails audit: %v", err)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatalf("parent fails audit after forking: %v", err)
+	}
+}
+
+// TestAuditCatchesCorruptionClassesOnFork re-runs the whole corruption
+// selfcheck suite against forked machines, and checks the parent stays
+// audit-clean through every injected fault.
+func TestAuditCatchesCorruptionClassesOnFork(t *testing.T) {
+	for _, tc := range corruptionCases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _, _ := warmMachine(t)
+			f := m.MustFork()
+			auditMustCatch(t, f, tc)
+			if err := m.Audit(); err != nil {
+				t.Fatalf("corrupting the fork dirtied the parent: %v", err)
+			}
+		})
+	}
+}
+
+// TestForkIsolatedFromParentCorruption: the mirror direction — corrupting
+// the parent after forking leaves the fork audit-clean.
+func TestForkIsolatedFromParentCorruption(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	f := m.MustFork()
+	m.Pref.IPStride.CorruptStride(0, m.Cfg.IPStride.MaxStrideBytes+512)
+	m.TLB.CorruptInsert(m.Kernel.AS.ID, 0x3)
+	if err := m.Audit(); err == nil {
+		t.Fatal("parent corruption not caught")
+	}
+	if err := f.Audit(); err != nil {
+		t.Fatalf("parent corruption leaked into the fork: %v", err)
+	}
+}
+
+// TestForkPreservesCorruptTLBEntries: Fork's ASID remap rewrites only VALID
+// entries through the parent→child table and passes unknown ASIDs raw, so
+// an injected desync survives the fork and the fork's own coherence audit
+// still catches it — forking never launders corruption.
+func TestForkPreservesCorruptTLBEntries(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	m.TLB.CorruptInsert(m.Kernel.AS.ID, 0x3)
+	f := m.MustFork()
+	if err := f.Audit(); err == nil {
+		t.Fatal("fork laundered the corrupt TLB entry")
+	}
+}
+
+// TestForkMatchesSnapshotRestore ties Fork to the long-gated Restore
+// semantics: a fork and a snapshot/restore round trip of the same machine
+// hash identically, and replaying the same continuation on both reproduces
+// the same final hash.
+func TestForkMatchesSnapshotRestore(t *testing.T) {
+	m, env, buf := warmMachine(t)
+	f := m.MustFork()
+	if got, want := f.StateHash(), m.StateHash(); got != want {
+		t.Fatalf("fork hash %#x, parent %#x", got, want)
+	}
+
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	cont := func(e *Env, b *mem.Mapping) {
+		for i := 0; i < 12; i++ {
+			e.Load(0x40_0300, b.Base+mem.VAddr(3*mem.PageSize+i%5*3*mem.LineSize))
+		}
+	}
+	cont(env, buf)
+	want := m.StateHash()
+	if err := m.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	fp := f.Processes()
+	if len(fp) != 1 {
+		t.Fatalf("fork has %d processes, want 1", len(fp))
+	}
+	var fbuf *mem.Mapping
+	for _, mp := range fp[0].AS.Mappings() {
+		if mp.Base == buf.Base {
+			fbuf = mp
+		}
+	}
+	if fbuf == nil {
+		t.Fatal("fork lost the warm buffer mapping")
+	}
+	cont(f.Direct(fp[0]), fbuf)
+	if got := f.StateHash(); got != want {
+		t.Fatalf("forked continuation hash %#x, restored-path continuation %#x", got, want)
+	}
+}
+
+// TestForkSeparatesTelemetry: spans and metrics recorded on a fork land on
+// the fork's own hub, not the parent's.
+func TestForkSeparatesTelemetry(t *testing.T) {
+	m, _, _ := warmMachine(t)
+	f := m.MustFork()
+	if m.Telemetry() == f.Telemetry() {
+		t.Fatal("fork shares the parent's telemetry hub")
+	}
+	fp := f.Processes()[0]
+	fe := f.Direct(fp)
+	fe.BeginPhase("fork-only")
+	fe.Sleep(100)
+	fe.EndPhase()
+	for _, ph := range m.Telemetry().PhaseSummaries() {
+		if ph.Name == "fork-only" {
+			t.Fatal("fork phase recorded on the parent hub")
+		}
+	}
+	found := false
+	for _, ph := range f.Telemetry().PhaseSummaries() {
+		if ph.Name == "fork-only" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fork phase missing from the fork hub")
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"afterimage/internal/mem"
+)
+
+// FuzzLoadBatchEquivalence checks the batched load API against the one-call
+// path it amortizes: an arbitrary trace chunk, decoded from the fuzz input
+// and split into arbitrary batch boundaries, must produce the same latency
+// for every element and leave the machine in a bit-identical state (full
+// state hash, RNG positions included) as the same trace fed through
+// Env.Load one call at a time on an identically seeded machine.
+func FuzzLoadBatchEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(4), []byte{0, 0, 0, 1, 2, 3, 7, 31, 63})
+	f.Add(int64(42), byte(1), []byte{9, 9, 9, 9, 9, 9})
+	f.Add(int64(-7), byte(0), []byte{255, 254, 253, 1, 1, 1, 128, 64, 32, 16, 8, 4})
+	f.Fuzz(func(t *testing.T, seed int64, chunk byte, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		const pages = 32
+		boot := func() (*Machine, *Env, *mem.Mapping) {
+			m := NewMachine(CoffeeLake(seed)) // noisy: jitter/noise RNGs live
+			env := m.Direct(m.NewProcess("fuzz"))
+			return m, env, env.Mmap(pages*mem.PageSize, mem.MapLocked)
+		}
+		ma, ea, bufA := boot()
+		mb, eb, bufB := boot()
+		if bufA.Base != bufB.Base {
+			t.Fatalf("identically seeded machines mapped at %#x vs %#x", bufA.Base, bufB.Base)
+		}
+
+		// Decode: three bytes per load — IP selector, page, line.
+		var ops []LoadOp
+		for i := 0; i+3 <= len(data); i += 3 {
+			ip := 0x400000 + uint64(data[i]%24)*0x40
+			va := bufA.Base + mem.VAddr(data[i+1]%pages)*mem.PageSize +
+				mem.VAddr(data[i+2]%64)*mem.LineSize
+			ops = append(ops, LoadOp{IP: ip, VA: va})
+		}
+
+		latsA := make([]uint64, 0, len(ops))
+		for _, op := range ops {
+			latsA = append(latsA, ea.Load(op.IP, op.VA))
+		}
+
+		// Batched: the same ops split at arbitrary boundaries, reusing one
+		// result buffer across calls as the sweep hot loop does.
+		per := int(chunk%16) + 1
+		latsB := make([]uint64, 0, len(ops))
+		for start := 0; start < len(ops); start += per {
+			end := start + per
+			if end > len(ops) {
+				end = len(ops)
+			}
+			latsB = eb.LoadBatch(ops[start:end], latsB)
+		}
+
+		if len(latsA) != len(latsB) {
+			t.Fatalf("per-load path returned %d latencies, batch %d", len(latsA), len(latsB))
+		}
+		for i := range latsA {
+			if latsA[i] != latsB[i] {
+				t.Fatalf("load %d (ip %#x va %#x): per-load latency %d, batched %d",
+					i, ops[i].IP, uint64(ops[i].VA), latsA[i], latsB[i])
+			}
+		}
+		if ha, hb := ma.StateHash(), mb.StateHash(); ha != hb {
+			t.Fatalf("state diverged after %d loads: per-load %#016x, batched %#016x", len(ops), ha, hb)
+		}
+	})
+}

@@ -56,6 +56,43 @@ func BenchmarkMachineTimedLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadBatch drives the batched load API with 64 ops per call into
+// a reused latency buffer — the trace-replay configuration. Each b.N
+// iteration is one 64-load batch, so compare ns/op against 64× the
+// steady-state single-load number to see what hoisting the per-load
+// dispatch buys.
+func BenchmarkLoadBatch(b *testing.B) {
+	_, env, buf := benchMachine(b)
+	ops := make([]LoadOp, 64)
+	for i := range ops {
+		ops[i] = LoadOp{IP: 0x400040, VA: buf.Base + mem.VAddr(i%(16*64))*mem.LineSize}
+	}
+	lats := make([]uint64, 0, len(ops))
+	for i := 0; i < 64; i++ {
+		env.LoadBatch(ops, lats[:0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.LoadBatch(ops, lats[:0])
+	}
+}
+
+// BenchmarkMachineFork measures one deep-copy fork of a warmed machine —
+// the per-point cost the forked sweep mode pays instead of a full boot
+// (BenchmarkNewMachine plus campaign warmup).
+func BenchmarkMachineFork(b *testing.B) {
+	m, env, buf := benchMachine(b)
+	for i := 0; i < 4096; i++ {
+		env.Load(0x400040, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustFork()
+	}
+}
+
 // BenchmarkNewMachine measures construction cost: campaign drivers boot a
 // fresh machine per experiment point, so this rides every sweep.
 func BenchmarkNewMachine(b *testing.B) {

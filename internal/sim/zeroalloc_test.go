@@ -28,6 +28,16 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		env.TimeLoad(0x4000c0, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
 	}
 
+	// The batched path shares the per-load core with Env.Load, so the same
+	// warmup covers it; the ops and latency buffers are caller-owned and
+	// reused, which is what keeps the batch itself allocation-free.
+	ops := make([]LoadOp, 64)
+	for i := range ops {
+		ops[i] = LoadOp{IP: 0x400040, VA: buf.Base + mem.VAddr(i%(16*64))*mem.LineSize}
+	}
+	lats := make([]uint64, 0, len(ops))
+	env.LoadBatch(ops, lats)
+
 	cases := []struct {
 		name string
 		op   func(i int)
@@ -40,6 +50,9 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		}},
 		{"timed load", func(i int) {
 			env.TimeLoad(0x4000c0, buf.Base+mem.VAddr(i%(16*64))*mem.LineSize)
+		}},
+		{"batched load", func(i int) {
+			env.LoadBatch(ops, lats[:0])
 		}},
 	}
 	for _, tc := range cases {
